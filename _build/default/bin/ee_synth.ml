@@ -1,0 +1,182 @@
+(* Command-line front-end for the early-evaluation synthesis flow.
+
+   ee_synth list                         enumerate benchmark circuits
+   ee_synth run b04 [--threshold T] ...  synthesize + simulate one circuit
+   ee_synth inspect b04 [--dot FILE]     netlist/PL statistics and exports
+   ee_synth check b04                    marked-graph liveness/safety proof *)
+
+open Cmdliner
+
+let find_bench id =
+  match List.find_opt (fun b -> b.Ee_bench_circuits.Itc99.id = id) Ee_bench_circuits.Itc99.all with
+  | Some b -> Ok b
+  | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S (try 'ee_synth list')" id))
+
+let bench_arg =
+  let parse s = find_bench s in
+  let print fmt b = Format.pp_print_string fmt b.Ee_bench_circuits.Itc99.id in
+  Arg.conv (parse, print)
+
+let bench_pos =
+  Arg.(required & pos 0 (some bench_arg) None & info [] ~docv:"BENCH" ~doc:"Benchmark id (b01..b15).")
+
+let threshold_t =
+  Arg.(value & opt float 0. & info [ "threshold" ] ~docv:"T" ~doc:"Minimum cost for inserting an EE pair.")
+
+let vectors_t =
+  Arg.(value & opt int 100 & info [ "vectors" ] ~docv:"N" ~doc:"Random input vectors to simulate.")
+
+let seed_t = Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+
+let coverage_only_t =
+  Arg.(value & flag & info [ "coverage-only" ] ~doc:"Rank candidates by coverage only (ablation).")
+
+let options_of threshold coverage_only =
+  {
+    Ee_core.Synth.default_options with
+    threshold;
+    weighting = (if coverage_only then Ee_core.Cost.Coverage_only else Ee_core.Cost.Arrival_weighted);
+  }
+
+let list_cmd =
+  let doc = "List the benchmark circuits." in
+  let run () =
+    List.iter
+      (fun b ->
+        Printf.printf "%-4s %s\n" b.Ee_bench_circuits.Itc99.id
+          b.Ee_bench_circuits.Itc99.description)
+      Ee_bench_circuits.Itc99.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Synthesize a benchmark with early evaluation and report the speedup." in
+  let run bench threshold coverage_only vectors seed =
+    let options = options_of threshold coverage_only in
+    let a = Ee_report.Pipeline.build ~options bench in
+    let row = Ee_report.Tables.row_of_artifact ~vectors ~seed a in
+    Printf.printf "%s: %s\n" a.Ee_report.Pipeline.id a.Ee_report.Pipeline.description;
+    Printf.printf "  netlist: %s\n" (Ee_netlist.Netlist.stats_string a.Ee_report.Pipeline.netlist);
+    Printf.printf "  PL gates: %d   EE gates: %d (+%.0f%% area)\n" row.Ee_report.Tables.pl_gates
+      row.Ee_report.Tables.ee_gates row.Ee_report.Tables.area_increase;
+    Printf.printf "  avg delay: %.2f -> %.2f gate delays (%.1f%% decrease) over %d vectors\n"
+      row.Ee_report.Tables.delay_no_ee row.Ee_report.Tables.delay_ee
+      row.Ee_report.Tables.delay_decrease vectors;
+    let ok = Ee_sim.Sim.equiv_random a.Ee_report.Pipeline.pl_ee a.Ee_report.Pipeline.netlist ~vectors ~seed in
+    Printf.printf "  functional equivalence vs synchronous golden model: %s\n"
+      (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ vectors_t $ seed_t)
+
+let inspect_cmd =
+  let doc = "Print statistics; optionally export DOT renderings." in
+  let dot_t =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the EE PL netlist as Graphviz DOT.")
+  in
+  let run bench threshold coverage_only dot =
+    let options = options_of threshold coverage_only in
+    let a = Ee_report.Pipeline.build ~options bench in
+    Printf.printf "%s: %s\n" a.Ee_report.Pipeline.id a.Ee_report.Pipeline.description;
+    Printf.printf "  netlist: %s\n" (Ee_netlist.Netlist.stats_string a.Ee_report.Pipeline.netlist);
+    Printf.printf "  PL (no EE): %s\n" (Ee_phased.Pl.stats_string a.Ee_report.Pipeline.pl);
+    Printf.printf "  PL (EE):    %s\n" (Ee_phased.Pl.stats_string a.Ee_report.Pipeline.pl_ee);
+    List.iter
+      (fun (c : Ee_core.Synth.gate_choice) ->
+        Printf.printf "  master %4d: subset=%x coverage=%.0f%% Mmax=%d Tmax=%d cost=%.1f\n"
+          c.Ee_core.Synth.master c.Ee_core.Synth.chosen.Ee_core.Trigger.subset
+          c.Ee_core.Synth.chosen.Ee_core.Trigger.coverage c.Ee_core.Synth.m_max
+          c.Ee_core.Synth.t_max c.Ee_core.Synth.cost)
+      a.Ee_report.Pipeline.synth_report.Ee_core.Synth.inserted;
+    match dot with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Ee_phased.Pl.to_dot a.Ee_report.Pipeline.pl_ee);
+        close_out oc;
+        Printf.printf "  wrote %s\n" file
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ dot_t)
+
+let export_cmd =
+  let doc = "Export a benchmark as BLIF (synchronous netlist) or PL VHDL (with EE)." in
+  let format_t =
+    Arg.(
+      required
+      & opt (some (enum [ ("blif", `Blif); ("vhdl", `Vhdl); ("vcd", `Vcd) ])) None
+      & info [ "format" ] ~docv:"FMT" ~doc:"blif, vhdl or vcd (waveform of 20 random waves)")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run bench threshold coverage_only format out =
+    let options = options_of threshold coverage_only in
+    let a = Ee_report.Pipeline.build ~options bench in
+    let text =
+      match format with
+      | `Blif -> Ee_export.Blif.to_blif ~model:a.Ee_report.Pipeline.id a.Ee_report.Pipeline.netlist
+      | `Vhdl ->
+          Ee_export.Vhdl.of_pl
+            ~entity:(a.Ee_report.Pipeline.id ^ "_pl")
+            a.Ee_report.Pipeline.pl_ee
+      | `Vcd -> Ee_export.Vcd.dump_random a.Ee_report.Pipeline.pl_ee ~waves:20 ~seed:2002
+    in
+    match out with
+    | None -> print_string text
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ format_t $ out_t)
+
+let analyze_cmd =
+  let doc = "Analytical delay prediction (no simulation) for a benchmark." in
+  let run bench threshold coverage_only vectors seed =
+    let options = options_of threshold coverage_only in
+    let a = Ee_report.Pipeline.build ~options bench in
+    let pred_base = Ee_core.Analysis.predict a.Ee_report.Pipeline.pl in
+    let pred_ee = Ee_core.Analysis.predict a.Ee_report.Pipeline.pl_ee in
+    Printf.printf "%s: predicted settle %.2f -> %.2f (%.1f%% speedup predicted)\n"
+      a.Ee_report.Pipeline.id pred_base.Ee_core.Analysis.predicted_settle
+      pred_ee.Ee_core.Analysis.predicted_settle
+      (Ee_core.Analysis.predicted_speedup a.Ee_report.Pipeline.pl a.Ee_report.Pipeline.pl_ee);
+    let sim_base = Ee_sim.Sim.run_random a.Ee_report.Pipeline.pl ~vectors ~seed in
+    let sim_ee = Ee_sim.Sim.run_random a.Ee_report.Pipeline.pl_ee ~vectors ~seed in
+    Printf.printf "    simulated settle %.2f -> %.2f (%.1f%% measured over %d vectors)\n"
+      sim_base.Ee_sim.Sim.avg_settle_time sim_ee.Ee_sim.Sim.avg_settle_time
+      (Ee_util.Stats.percent_change ~before:sim_base.Ee_sim.Sim.avg_settle_time
+         ~after:sim_ee.Ee_sim.Sim.avg_settle_time)
+      vectors;
+    List.iter
+      (fun (master, rate) ->
+        Printf.printf "    master %4d: predicted trigger rate %.2f\n" master rate)
+      pred_ee.Ee_core.Analysis.trigger_rates
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ vectors_t $ seed_t)
+
+let check_cmd =
+  let doc = "Verify marked-graph liveness and safety of the PL mapping (with and without EE)." in
+  let run bench =
+    let a = Ee_report.Pipeline.build bench in
+    match Ee_report.Pipeline.check_live_safe a with
+    | Ok () ->
+        Printf.printf "%s: marked graph is live and safe (with and without EE)\n"
+          a.Ee_report.Pipeline.id
+    | Error msg ->
+        Printf.printf "%s: VIOLATION: %s\n" a.Ee_report.Pipeline.id msg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ bench_pos)
+
+let main =
+  let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
+  Cmd.group (Cmd.info "ee_synth" ~doc)
+    [ list_cmd; run_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adder_ee.ml: Dsl Ee_core Ee_netlist Ee_phased Ee_rtl Ee_sim Ee_util List Printf Rtl Techmap

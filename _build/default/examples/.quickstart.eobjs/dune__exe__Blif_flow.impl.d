@@ -1,0 +1,1 @@
+examples/blif_flow.ml: Ee_core Ee_export Ee_netlist Ee_phased Ee_sim Ee_util Filename List Printf String

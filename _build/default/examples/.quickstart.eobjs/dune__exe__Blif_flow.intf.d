@@ -1,0 +1,1 @@
+examples/blif_flow.mli:

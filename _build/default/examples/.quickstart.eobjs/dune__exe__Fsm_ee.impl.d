@@ -1,0 +1,1 @@
+examples/fsm_ee.ml: Ee_bench_circuits Ee_core Ee_report List Printf

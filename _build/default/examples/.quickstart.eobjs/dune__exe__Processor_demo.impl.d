@@ -1,0 +1,1 @@
+examples/processor_demo.ml: Ee_bench_circuits Ee_core Ee_netlist Ee_phased Ee_rtl Ee_sim List Option Printf

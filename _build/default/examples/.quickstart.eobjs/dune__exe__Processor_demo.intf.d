@@ -1,0 +1,1 @@
+examples/processor_demo.mli:

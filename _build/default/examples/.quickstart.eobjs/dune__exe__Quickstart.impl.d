@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bool Ee_core Ee_logic Ee_markedgraph Ee_netlist Ee_phased Ee_sim List Printf

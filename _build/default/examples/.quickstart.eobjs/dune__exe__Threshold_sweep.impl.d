@@ -1,0 +1,1 @@
+examples/threshold_sweep.ml: Ee_bench_circuits Ee_report Ee_util List Printf

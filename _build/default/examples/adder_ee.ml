@@ -1,0 +1,41 @@
+(* Ripple-carry adders of growing width: the classic early-evaluation
+   workload (speculative completion, paper Section 3).
+
+   For each width the example builds an a+b ripple adder, attaches EE
+   pairs, and reports average settle time with and without EE.  Without EE
+   the delay grows linearly with the width (worst-case carry chain); with
+   EE it grows roughly with the longest run of carry-propagate positions in
+   the actual operands — the average-case behaviour self-timed circuits are
+   after. *)
+
+open Ee_rtl
+
+let adder_design width =
+  let db = Dsl.design (Printf.sprintf "adder%d" width) in
+  let a = Dsl.input db "a" width in
+  let b = Dsl.input db "b" width in
+  Dsl.output db "sum"
+    (Rtl.Add (Rtl.Concat (Rtl.zero 1, a), Rtl.Concat (Rtl.zero 1, b)));
+  Dsl.finish db
+
+let () =
+  print_endline "width  luts  ee  area%   delay(noEE)  delay(EE)  decrease%  early-rate";
+  List.iter
+    (fun width ->
+      let d = adder_design width in
+      let nl = Techmap.run_rtl d in
+      let pl = Ee_phased.Pl.of_netlist nl in
+      let pl_ee, report = Ee_core.Synth.run pl in
+      let base = Ee_sim.Sim.run_random pl ~vectors:300 ~seed:42 in
+      let ee = Ee_sim.Sim.run_random pl_ee ~vectors:300 ~seed:42 in
+      Printf.printf "%5d %5d %3d %5.0f%% %12.2f %10.2f %9.1f%% %9.2f\n" width
+        (Ee_netlist.Netlist.lut_count nl)
+        report.Ee_core.Synth.ee_gates report.Ee_core.Synth.area_increase_percent
+        base.Ee_sim.Sim.avg_settle_time ee.Ee_sim.Sim.avg_settle_time
+        (Ee_util.Stats.percent_change ~before:base.Ee_sim.Sim.avg_settle_time
+           ~after:ee.Ee_sim.Sim.avg_settle_time)
+        ee.Ee_sim.Sim.early_fire_rate)
+    [ 4; 8; 12; 16; 20; 24 ];
+  print_endline "\nThe no-EE delay tracks the full carry chain; the EE delay grows much";
+  print_endline "more slowly because each carry gate fires as soon as its own operand";
+  print_endline "bits generate or kill the carry (trigger ab + a'b', coverage 50%)."

@@ -1,0 +1,81 @@
+(* Drive the b14 "Viper subset" processor with an actual instruction
+   sequence and watch per-instruction wave latency with and without early
+   evaluation.
+
+   Encoding (see Ee_bench_circuits.Itc99.processor): 16-bit instruction,
+   opcode in bits 15:12 (0=add 1=sub 2=and 3=or 4=xor, 8=shift,
+   12=mul, 13=store, 14=load, 15=branch), register select in bits 11:9,
+   immediate mode when bit 8 is set, immediate in bits 7:0. *)
+
+let op_add = 0
+
+let op_sub = 1
+
+let op_and = 2
+
+let op_xor = 4
+
+let op_mul = 12
+
+let op_store = 13
+
+let op_load = 14
+
+let imm v = (1 lsl 8) lor (v land 0xFF)
+
+let reg r = (r land 7) lsl 9
+
+let instr op operand = (op lsl 12) lor operand
+
+let program =
+  [
+    (instr op_load 0, "load  acc <- data_in (42)", Some 42);
+    (instr op_add (imm 17), "addi  acc += 17", None);
+    (instr op_store (reg 1), "store r1 <- acc", None);
+    (instr op_sub (imm 9), "subi  acc -= 9", None);
+    (instr op_and (imm 0xF0), "andi  acc &= 0xF0", None);
+    (instr op_xor (reg 1), "xor   acc ^= r1", None);
+    (instr op_mul (reg 1), "mul   acc *= r1 (low bits)", None);
+    (instr op_add (reg 1), "add   acc += r1", None);
+  ]
+
+let () =
+  print_endline "== A program on the b14 processor, under phased logic ==\n";
+  let b = Ee_bench_circuits.Itc99.find "b14" in
+  let design = b.Ee_bench_circuits.Itc99.build () in
+  let nl = Ee_rtl.Techmap.run_rtl design in
+  let pl = Ee_phased.Pl.of_netlist nl in
+  let pl_ee, report = Ee_core.Synth.run pl in
+  Printf.printf "processor: %s; EE pairs: %d (+%.0f%% area)\n\n"
+    (Ee_netlist.Netlist.stats_string nl)
+    report.Ee_core.Synth.ee_gates report.Ee_core.Synth.area_increase_percent;
+
+  let pm = Ee_rtl.Portmap.make design nl in
+  let sim = Ee_sim.Sim.create pl in
+  let sim_ee = Ee_sim.Sim.create pl_ee in
+  let env = ref (Ee_rtl.Rtl.initial_env design) in
+  print_endline "  instruction                      acc    t(no EE)  t(EE)   early fires";
+  List.iter
+    (fun (code, disasm, data) ->
+      let ins =
+        [ ("instr", code); ("data_in", Option.value ~default:0 data); ("irq", 0) ]
+      in
+      (* Golden model for the architectural state readout. *)
+      let outs, env' = Ee_rtl.Rtl.step design !env ins in
+      env := env';
+      let vec = Ee_rtl.Portmap.encode_inputs pm ins in
+      let w = Ee_sim.Sim.apply sim vec in
+      let w' = Ee_sim.Sim.apply sim_ee vec in
+      assert (w.Ee_sim.Sim.outputs = w'.Ee_sim.Sim.outputs);
+      Printf.printf "  %-30s %6d  %7.2f %7.2f   %d\n" disasm (List.assoc "acc_out" outs)
+        w.Ee_sim.Sim.settle_time w'.Ee_sim.Sim.settle_time w'.Ee_sim.Sim.early_fires)
+    program;
+  print_endline
+    "\nMost instructions settle faster under EE — the ALU's carry chains and";
+  print_endline
+    "the register-file muxes fire early on generate/kill.  Data dependence";
+  print_endline
+    "shows through per instruction: the multiply, a long shift-add/xor";
+  print_endline
+    "cascade whose partial products admit few triggers, can even pay a net";
+  print_endline "Muller-C overhead on some operands (paper Table 3's negative rows)."

@@ -1,0 +1,1 @@
+lib/benchmarks/families.ml: Ee_rtl Ee_util Rtl Rtlkit

@@ -1,0 +1,1 @@
+lib/benchmarks/families.mli: Ee_rtl Rtl

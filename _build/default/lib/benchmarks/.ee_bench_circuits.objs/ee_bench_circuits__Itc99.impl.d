@@ -1,0 +1,1 @@
+lib/benchmarks/itc99.ml: Array Dsl Ee_rtl Ee_util List Printf Rtl Rtlkit

@@ -1,0 +1,1 @@
+lib/benchmarks/itc99.mli: Ee_rtl Rtl

@@ -1,0 +1,1 @@
+lib/benchmarks/rtlkit.ml: Array Ee_rtl Ee_util List Rtl

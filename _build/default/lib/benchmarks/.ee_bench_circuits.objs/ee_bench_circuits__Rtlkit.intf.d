@@ -1,0 +1,1 @@
+lib/benchmarks/rtlkit.mli: Ee_rtl Rtl

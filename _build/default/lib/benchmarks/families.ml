@@ -1,0 +1,99 @@
+open Ee_rtl
+open Rtlkit
+
+type family = {
+  name : string;
+  description : string;
+  build : int -> Rtl.design;
+}
+
+let comb name outputs inputs : Rtl.design =
+  { Rtl.name; inputs; regs = []; nexts = []; outputs }
+
+let ripple_adder =
+  {
+    name = "adder";
+    description = "ripple-carry addition (generate/kill triggers)";
+    build =
+      (fun w ->
+        comb "adder"
+          [
+            ( "sum",
+              Rtl.Add
+                (Rtl.Concat (Rtl.zero 1, Rtl.Input "a"), Rtl.Concat (Rtl.zero 1, Rtl.Input "b"))
+            );
+          ]
+          [ ("a", w); ("b", w) ]);
+  }
+
+let comparator =
+  {
+    name = "compare";
+    description = "unsigned less-than (borrow chain)";
+    build =
+      (fun w ->
+        comb "compare"
+          [ ("lt", Rtl.Lt (Rtl.Input "a", Rtl.Input "b")); ("eq", Rtl.Eq (Rtl.Input "a", Rtl.Input "b")) ]
+          [ ("a", w); ("b", w) ]);
+  }
+
+let parity_tree =
+  {
+    name = "parity";
+    description = "xor reduction (no triggers possible)";
+    build =
+      (fun w ->
+        comb "parity" [ ("p", Rtl.Reduce_xor (Rtl.Input "a")) ] [ ("a", w) ]);
+  }
+
+let crc_step =
+  {
+    name = "crc8";
+    description = "one CRC-8 update step (xor-heavy)";
+    build =
+      (fun w ->
+        (* crc' = table-free bitwise CRC-8/ATM over a w-bit chunk: repeated
+           shift-xor with the polynomial 0x07 when the top bit is set. *)
+        let rec step crc k =
+          if k >= min w 8 then crc
+          else
+            let top = Rtl.bit crc 7 in
+            let shifted = shl 8 crc 1 in
+            let injected = Rtl.Xor (shifted, zext ~from:1 8 (Rtl.bit (Rtl.Input "msg") k)) in
+            step (Rtl.Mux (top, injected, Rtl.Xor (injected, Rtl.Const (8, 0x07)))) (k + 1)
+        in
+        comb "crc8" [ ("crc", step (Rtl.Input "init") 0) ] [ ("init", 8); ("msg", w) ]);
+  }
+
+let priority_encoder =
+  {
+    name = "priority";
+    description = "index of highest asserted bit";
+    build =
+      (fun w ->
+        let bits = Ee_util.Bits.log2_ceil w in
+        let rec enc k =
+          if k < 0 then Rtl.zero bits
+          else Rtl.Mux (Rtl.bit (Rtl.Input "req") k, enc (k - 1), Rtl.Const (bits, k))
+        in
+        comb "priority"
+          [ ("idx", enc (w - 1)); ("any", Rtl.Reduce_or (Rtl.Input "req")) ]
+          [ ("req", w) ]);
+  }
+
+let wide_and =
+  {
+    name = "wide-and";
+    description = "and reduction (kill-dominated)";
+    build = (fun w -> comb "wide_and" [ ("all", Rtl.Reduce_and (Rtl.Input "a")) ] [ ("a", w) ]);
+  }
+
+let incrementer =
+  {
+    name = "increment";
+    description = "x + 1 (carry chain killed by any zero)";
+    build = (fun w -> comb "increment" [ ("y", inc w (Rtl.Input "x")) ] [ ("x", w) ]);
+  }
+
+let all =
+  [ ripple_adder; comparator; parity_tree; crc_step; priority_encoder; wide_and; incrementer ]

@@ -1,0 +1,40 @@
+(** Parameterized combinational circuit families for characterizing where
+    early evaluation pays off.
+
+    Trigger theory predicts the outcome per family: carry/borrow chains
+    (adders, comparators) are generate/kill dominated — 50%-coverage
+    triggers everywhere; priority encoders kill on the first asserted bit;
+    parity/CRC trees are XOR-dominated and admit {e no} triggers at all
+    (an XOR is never constant under a proper input subset); wide AND/OR
+    reductions trigger on any dominating value.  The [--families] bench
+    measures all of them. *)
+
+open Ee_rtl
+
+type family = {
+  name : string;
+  description : string;
+  build : int -> Rtl.design;  (** Parameter: operand width. *)
+}
+
+val ripple_adder : family
+
+val comparator : family
+(** Unsigned less-than (borrow chain). *)
+
+val parity_tree : family
+(** XOR reduction — the predicted EE-immune family. *)
+
+val crc_step : family
+(** One step of a CRC-8 update over a [w]-bit message chunk (XOR-heavy). *)
+
+val priority_encoder : family
+(** Index of the highest asserted bit. *)
+
+val wide_and : family
+(** AND reduction — kill-dominated. *)
+
+val incrementer : family
+(** x + 1: a carry chain killed by any zero bit. *)
+
+val all : family list

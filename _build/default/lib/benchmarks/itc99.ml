@@ -1,0 +1,525 @@
+open Ee_rtl
+open Rtlkit
+
+let c w v = Rtl.Const (w, v)
+
+(* b01 — FSM that compares serial flows.  Two serial bit streams; a small
+   state machine tracks which stream is lexicographically ahead, and a
+   saturating counter accumulates the number of positions at which they
+   disagree. *)
+let b01 () =
+  let db = Dsl.design "b01" in
+  let line1 = Dsl.input db "line1" 1 in
+  let line2 = Dsl.input db "line2" 1 in
+  let restart = Dsl.input db "restart" 1 in
+  let state = Dsl.reg db "state" ~width:3 ~init:0 in
+  let diff = Dsl.reg db "diff_count" ~width:4 ~init:0 in
+  let mismatch = Rtl.Xor (line1, line2) in
+  let ahead1 = Rtl.And (line1, Rtl.Not line2) in
+  (* States: 0 equal-so-far, 1 stream1 ahead, 2 stream2 ahead, 3 diverged,
+     4 resynchronized. *)
+  let next_state =
+    Rtl.Mux
+      ( restart,
+        Rtl.select state 3
+          [
+            Rtl.Mux (mismatch, state, Rtl.Mux (ahead1, c 3 2, c 3 1));
+            Rtl.Mux (mismatch, c 3 4, c 3 3);
+            Rtl.Mux (mismatch, c 3 4, c 3 3);
+            Rtl.Mux (mismatch, c 3 3, c 3 4);
+            Rtl.Mux (mismatch, c 3 0, c 3 1);
+          ],
+        c 3 0 )
+  in
+  Dsl.next db "state" next_state;
+  let saturated = eq_const 4 diff 15 in
+  Dsl.next db "diff_count"
+    (Rtl.Mux
+       ( restart,
+         Rtl.Mux (Rtl.And (mismatch, Rtl.Not saturated), diff, inc 4 diff),
+         c 4 0 ));
+  Dsl.output db "outp" (Rtl.bit state 0);
+  Dsl.output db "overflw" saturated;
+  Dsl.output db "diverged" (eq_const 3 state 3);
+  Dsl.finish db
+
+(* b02 — FSM that recognizes BCD numbers.  Serial bit input, MSB first; a
+   nibble assembled over four cycles is flagged valid when <= 9. *)
+let b02 () =
+  let db = Dsl.design "b02" in
+  let linea = Dsl.input db "linea" 1 in
+  let phase = Dsl.reg db "phase" ~width:2 ~init:0 in
+  let nib = Dsl.reg db "nib" ~width:4 ~init:0 in
+  Dsl.next db "phase" (inc 2 phase);
+  Dsl.next db "nib" (Rtl.Concat (Rtl.Slice (nib, 2, 0), linea));
+  let is_bcd = Rtl.Lt (nib, c 4 10) in
+  Dsl.output db "u" (Rtl.And (eq_const 2 phase 0, is_bcd));
+  Dsl.finish db
+
+(* b03 — Resource arbiter.  Four requesters compete for one resource with a
+   rotating-priority scheme; each requester has an age counter that forces
+   the grant when it saturates. *)
+let b03 () =
+  let db = Dsl.design "b03" in
+  let req = Array.init 4 (fun i -> Dsl.input db (Printf.sprintf "req%d" i) 1) in
+  let prio = Dsl.reg db "prio" ~width:2 ~init:0 in
+  let busy = Dsl.reg db "busy" ~width:3 ~init:0 in
+  let grant = Dsl.reg db "grant" ~width:2 ~init:0 in
+  let granted = Dsl.reg db "granted" ~width:1 ~init:0 in
+  let age = Array.init 4 (fun i -> Dsl.reg db (Printf.sprintf "age%d" i) ~width:3 ~init:0) in
+  let any_req = Rtl.Or (Rtl.Or (req.(0), req.(1)), Rtl.Or (req.(2), req.(3))) in
+  let idle = eq_const 3 busy 0 in
+  (* Requester index with rotating priority: try prio, prio+1, ... *)
+  let slot k = Rtl.Add (prio, c 2 k) in
+  let req_at e = Rtl.select e 1 [ req.(0); req.(1); req.(2); req.(3) ] in
+  let winner =
+    Rtl.Mux
+      ( req_at (slot 0),
+        Rtl.Mux (req_at (slot 1), Rtl.Mux (req_at (slot 2), slot 3, slot 2), slot 1),
+        slot 0 )
+  in
+  (* Age counters: starved requesters override. *)
+  let starved k = Rtl.And (req.(k), eq_const 3 age.(k) 7) in
+  let forced =
+    Rtl.Mux
+      ( starved 0,
+        Rtl.Mux (starved 1, Rtl.Mux (starved 2, Rtl.Mux (starved 3, winner, c 2 3), c 2 2), c 2 1),
+        c 2 0 )
+  in
+  let any_starved =
+    Rtl.Or (Rtl.Or (starved 0, starved 1), Rtl.Or (starved 2, starved 3))
+  in
+  let new_grant = Rtl.Mux (any_starved, winner, forced) in
+  let take = Rtl.And (idle, any_req) in
+  Dsl.next db "grant" (Rtl.Mux (take, grant, new_grant));
+  Dsl.next db "granted" (Rtl.Mux (take, Rtl.Mux (idle, granted, Rtl.zero 1), c 1 1));
+  Dsl.next db "prio" (Rtl.Mux (take, prio, inc 2 new_grant));
+  Dsl.next db "busy"
+    (Rtl.Mux (take, Rtl.Mux (idle, Rtl.Sub (busy, c 3 1), busy), c 3 5));
+  Array.iteri
+    (fun k _ ->
+      let served = Rtl.And (take, eq_const 2 new_grant k) in
+      Dsl.next db
+        (Printf.sprintf "age%d" k)
+        (Rtl.Mux
+           ( served,
+             Rtl.Mux
+               ( Rtl.And (req.(k), Rtl.Not (eq_const 3 age.(k) 7)),
+                 age.(k),
+                 inc 3 age.(k) ),
+             c 3 0 )))
+    age;
+  Dsl.output db "grant" grant;
+  Dsl.output db "active" (Rtl.And (granted, Rtl.Not idle));
+  Dsl.output db "stall" any_starved;
+  Dsl.finish db
+
+(* b04 — Compute min and max.  12-bit samples stream in; running minimum,
+   maximum, spread and a 16-bit sum are maintained. *)
+let b04 () =
+  let db = Dsl.design "b04" in
+  let data = Dsl.input db "data_in" 12 in
+  let restart = Dsl.input db "restart" 1 in
+  let en = Dsl.input db "enable" 1 in
+  let rmin = Dsl.reg db "rmin" ~width:12 ~init:4095 in
+  let rmax = Dsl.reg db "rmax" ~width:12 ~init:0 in
+  let rlast = Dsl.reg db "rlast" ~width:12 ~init:0 in
+  let rsum = Dsl.reg db "rsum" ~width:16 ~init:0 in
+  let count = Dsl.reg db "count" ~width:8 ~init:0 in
+  let upd v keep = Rtl.Mux (restart, Rtl.Mux (en, keep, v), keep) in
+  Dsl.next db "rmin" (Rtl.Mux (restart, Rtl.Mux (en, rmin, min2 rmin data), c 12 4095));
+  Dsl.next db "rmax" (Rtl.Mux (restart, Rtl.Mux (en, rmax, max2 rmax data), c 12 0));
+  Dsl.next db "rlast" (upd data rlast);
+  Dsl.next db "rsum"
+    (Rtl.Mux (restart, Rtl.Mux (en, rsum, Rtl.Add (rsum, zext ~from:12 16 data)), c 16 0));
+  Dsl.next db "count" (Rtl.Mux (restart, Rtl.Mux (en, count, inc 8 count), c 8 0));
+  Dsl.output db "min" rmin;
+  Dsl.output db "max" rmax;
+  Dsl.output db "spread" (Rtl.Sub (rmax, rmin));
+  Dsl.output db "delta" (abs_diff data rlast);
+  Dsl.output db "sum" rsum;
+  Dsl.output db "over" (Rtl.Lt (c 8 200, count));
+  Dsl.finish db
+
+(* b05 — Elaborate contents of memory.  A 16-word ROM is scanned by an
+   address counter; the design accumulates the sum and xor of the contents,
+   tracks the address of the largest word and compares against a probe
+   input. *)
+let b05 () =
+  let db = Dsl.design "b05" in
+  let probe = Dsl.input db "probe" 8 in
+  let start = Dsl.input db "start" 1 in
+  let addr = Dsl.reg db "addr" ~width:4 ~init:0 in
+  let acc = Dsl.reg db "acc" ~width:12 ~init:0 in
+  let axor = Dsl.reg db "axor" ~width:8 ~init:0 in
+  let best = Dsl.reg db "best" ~width:8 ~init:0 in
+  let best_addr = Dsl.reg db "best_addr" ~width:4 ~init:0 in
+  let hits = Dsl.reg db "hits" ~width:5 ~init:0 in
+  let contents =
+    [| 0x3A; 0x7C; 0x11; 0xF0; 0x55; 0x9E; 0x42; 0x08; 0xA7; 0x63; 0xD1; 0x2B; 0x94; 0x6F; 0xE8; 0x1D |]
+  in
+  let word = rom 8 addr contents in
+  Dsl.next db "addr" (Rtl.Mux (start, inc 4 addr, c 4 0));
+  Dsl.next db "acc" (Rtl.Mux (start, Rtl.Add (acc, zext ~from:8 12 word), c 12 0));
+  Dsl.next db "axor" (Rtl.Mux (start, Rtl.Xor (axor, word), c 8 0));
+  let better = Rtl.Lt (best, word) in
+  Dsl.next db "best" (Rtl.Mux (start, Rtl.Mux (better, best, word), c 8 0));
+  Dsl.next db "best_addr" (Rtl.Mux (start, Rtl.Mux (better, best_addr, addr), c 4 0));
+  Dsl.next db "hits" (Rtl.Mux (start, Rtl.Mux (Rtl.Eq (word, probe), hits, inc 5 hits), c 5 0));
+  Dsl.output db "sum" acc;
+  Dsl.output db "checksum" axor;
+  Dsl.output db "largest" best;
+  Dsl.output db "largest_addr" best_addr;
+  Dsl.output db "probe_hits" hits;
+  Dsl.output db "done" (eq_const 4 addr 15);
+  Dsl.finish db
+
+(* b06 — Interrupt handler.  Two interrupt lines with a tiny prioritized
+   state machine. *)
+let b06 () =
+  let db = Dsl.design "b06" in
+  let irq1 = Dsl.input db "irq1" 1 in
+  let irq2 = Dsl.input db "irq2" 1 in
+  let state = Dsl.reg db "state" ~width:2 ~init:0 in
+  (* 0 idle, 1 serving irq1, 2 serving irq2, 3 cool-down. *)
+  let next_state =
+    Rtl.select state 2
+      [
+        Rtl.Mux (irq1, Rtl.Mux (irq2, c 2 0, c 2 2), c 2 1);
+        Rtl.Mux (irq1, c 2 3, c 2 1);
+        Rtl.Mux (irq2, c 2 3, c 2 2);
+        c 2 0;
+      ]
+  in
+  Dsl.next db "state" next_state;
+  Dsl.output db "busy" (Rtl.Or (Rtl.bit state 0, Rtl.bit state 1));
+  Dsl.output db "ack1" (eq_const 2 state 1);
+  Dsl.output db "ack2" (eq_const 2 state 2);
+  Dsl.finish db
+
+(* b07 — Count points on a straight line.  Checks whether incoming (x, y)
+   points lie on y = 6x + b (slope fixed, intercept programmable) and counts
+   the points on the line; also accumulates the vertical error. *)
+let b07 () =
+  let db = Dsl.design "b07" in
+  let x = Dsl.input db "x" 8 in
+  let y = Dsl.input db "y" 8 in
+  let intercept = Dsl.input db "intercept" 8 in
+  let restart = Dsl.input db "restart" 1 in
+  let on_line = Dsl.reg db "on_line" ~width:8 ~init:0 in
+  let err = Dsl.reg db "err_acc" ~width:12 ~init:0 in
+  let seen = Dsl.reg db "seen" ~width:8 ~init:0 in
+  (* 6x = 4x + 2x via shifts and one adder. *)
+  let x12 = zext ~from:8 12 x in
+  let predicted = Rtl.Add (Rtl.Add (shl 12 x12 2, shl 12 x12 1), zext ~from:8 12 intercept) in
+  let y12 = zext ~from:8 12 y in
+  let hit = Rtl.Eq (predicted, y12) in
+  let residual = abs_diff predicted y12 in
+  Dsl.next db "on_line" (Rtl.Mux (restart, Rtl.Mux (hit, on_line, inc 8 on_line), c 8 0));
+  Dsl.next db "err_acc" (Rtl.Mux (restart, Rtl.Add (err, residual), c 12 0));
+  Dsl.next db "seen" (Rtl.Mux (restart, inc 8 seen, c 8 0));
+  Dsl.output db "hits" on_line;
+  Dsl.output db "error" err;
+  Dsl.output db "ratio_ok" (Rtl.Lt (shl 8 on_line 1, seen));
+  Dsl.finish db
+
+(* b08 — Find inclusions in sequences.  A serial bit stream shifts through a
+   16-bit window; the design reports whether an 8-bit pattern occurs at any
+   even offset and counts total occurrences at offset 0. *)
+let b08 () =
+  let db = Dsl.design "b08" in
+  let din = Dsl.input db "din" 1 in
+  let pattern = Dsl.input db "pattern" 8 in
+  let window = Dsl.reg db "window" ~width:16 ~init:0 in
+  let found = Dsl.reg db "found" ~width:6 ~init:0 in
+  Dsl.next db "window" (Rtl.Concat (Rtl.Slice (window, 14, 0), din));
+  let match_at k = Rtl.Eq (Rtl.Slice (window, k + 7, k), pattern) in
+  let any =
+    Rtl.Or
+      ( Rtl.Or (match_at 0, match_at 2),
+        Rtl.Or (match_at 4, Rtl.Or (match_at 6, match_at 8)) )
+  in
+  Dsl.next db "found" (Rtl.Mux (match_at 0, found, inc 6 found));
+  Dsl.output db "included" any;
+  Dsl.output db "count" found;
+  Dsl.finish db
+
+(* b09 — Serial to serial converter.  Deserializes 8-bit frames, applies an
+   offset, and reserializes MSB first. *)
+let b09 () =
+  let db = Dsl.design "b09" in
+  let din = Dsl.input db "din" 1 in
+  let offset = Dsl.input db "offset" 4 in
+  let inreg = Dsl.reg db "inreg" ~width:8 ~init:0 in
+  let outreg = Dsl.reg db "outreg" ~width:8 ~init:0 in
+  let phase = Dsl.reg db "phase" ~width:3 ~init:0 in
+  Dsl.next db "phase" (inc 3 phase);
+  Dsl.next db "inreg" (Rtl.Concat (Rtl.Slice (inreg, 6, 0), din));
+  let frame_done = eq_const 3 phase 7 in
+  let adjusted = Rtl.Add (inreg, zext ~from:4 8 offset) in
+  Dsl.next db "outreg"
+    (Rtl.Mux (frame_done, Rtl.Concat (Rtl.Slice (outreg, 6, 0), Rtl.zero 1), adjusted));
+  Dsl.output db "dout" (Rtl.bit outreg 7);
+  Dsl.output db "frame" frame_done;
+  Dsl.finish db
+
+(* b10 — Voting system.  Eight voters; the tally of yes-votes is compared
+   with a programmable quorum, and consecutive passes are counted. *)
+let b10 () =
+  let db = Dsl.design "b10" in
+  let votes = Dsl.input db "votes" 8 in
+  let quorum = Dsl.input db "quorum" 4 in
+  let close_vote = Dsl.input db "close" 1 in
+  let passes = Dsl.reg db "passes" ~width:6 ~init:0 in
+  let rounds = Dsl.reg db "rounds" ~width:6 ~init:0 in
+  let streak = Dsl.reg db "streak" ~width:4 ~init:0 in
+  let tally = popcount 8 votes in
+  let passed = Rtl.Not (Rtl.Lt (tally, quorum)) in
+  Dsl.next db "passes"
+    (Rtl.Mux (close_vote, passes, Rtl.Mux (passed, passes, inc 6 passes)));
+  Dsl.next db "rounds" (Rtl.Mux (close_vote, rounds, inc 6 rounds));
+  Dsl.next db "streak"
+    (Rtl.Mux (close_vote, streak, Rtl.Mux (passed, c 4 0, inc 4 streak)));
+  Dsl.output db "tally" tally;
+  Dsl.output db "passed" passed;
+  Dsl.output db "unanimous" (Rtl.Reduce_and votes);
+  Dsl.output db "passes" passes;
+  Dsl.output db "landslide" (eq_const 4 streak 15);
+  Dsl.output db "participation" (Rtl.Lt (c 6 0, rounds));
+  Dsl.finish db
+
+(* b11 — Scramble string with a cipher.  Two rounds of xor-rotate-add over
+   the input character with an evolving key register (the arithmetic-heavy
+   benchmark the paper highlights). *)
+let b11 () =
+  let db = Dsl.design "b11" in
+  let char_in = Dsl.input db "char_in" 8 in
+  let load_key = Dsl.input db "load_key" 1 in
+  let key_in = Dsl.input db "key_in" 8 in
+  let key = Dsl.reg db "key" ~width:8 ~init:0x5A in
+  let prev = Dsl.reg db "prev" ~width:8 ~init:0 in
+  let round1 = Rtl.Add (Rtl.Xor (char_in, key), prev) in
+  let round2 = Rtl.Add (rotl 8 round1 3, Rtl.Xor (key, c 8 0x6D)) in
+  let scrambled = Rtl.Xor (rotl 8 round2 5, prev) in
+  Dsl.next db "key"
+    (Rtl.Mux (load_key, Rtl.Add (rotl 8 key 1, c 8 0x3B), key_in));
+  Dsl.next db "prev" scrambled;
+  Dsl.output db "char_out" scrambled;
+  Dsl.output db "parity" (Rtl.Reduce_xor scrambled);
+  Dsl.finish db
+
+(* b12 — 1-player game (guess a sequence).  An LFSR produces a pseudo-random
+   sequence; the player's guesses are scored, with a level counter that
+   shortens the allowed time as the game progresses. *)
+let b12 () =
+  let db = Dsl.design "b12" in
+  let guess = Dsl.input db "guess" 4 in
+  let commit = Dsl.input db "commit" 1 in
+  let newgame = Dsl.input db "newgame" 1 in
+  let lfsr = Dsl.reg db "lfsr" ~width:16 ~init:0xACE1 in
+  let score = Dsl.reg db "score" ~width:8 ~init:0 in
+  let level = Dsl.reg db "level" ~width:4 ~init:0 in
+  let timer = Dsl.reg db "timer" ~width:8 ~init:255 in
+  let lives = Dsl.reg db "lives" ~width:2 ~init:3 in
+  let target = Rtl.Slice (lfsr, 3, 0) in
+  let correct = Rtl.Eq (guess, target) in
+  let step = lfsr_next 16 ~taps:[ 0; 2; 3; 5 ] lfsr in
+  Dsl.next db "lfsr" (Rtl.Mux (newgame, Rtl.Mux (commit, lfsr, step), c 16 0xACE1));
+  let gained = Rtl.Add (score, zext ~from:4 8 (inc 4 level)) in
+  Dsl.next db "score"
+    (Rtl.Mux
+       (newgame, Rtl.Mux (commit, score, Rtl.Mux (correct, score, gained)), c 8 0));
+  Dsl.next db "level"
+    (Rtl.Mux
+       ( newgame,
+         Rtl.Mux (Rtl.And (commit, correct), level, inc 4 level),
+         c 4 0 ));
+  let expired = eq_const 8 timer 0 in
+  Dsl.next db "timer"
+    (Rtl.Mux
+       ( newgame,
+         Rtl.Mux (expired, Rtl.Sub (timer, inc 8 (zext ~from:4 8 level)), c 8 255),
+         c 8 255 ));
+  Dsl.next db "lives"
+    (Rtl.Mux
+       ( newgame,
+         Rtl.Mux
+           ( Rtl.Or (expired, Rtl.And (commit, Rtl.Not correct)),
+             lives,
+             Rtl.Mux (eq_const 2 lives 0, Rtl.Sub (lives, c 2 1), c 2 0) ),
+         c 2 3 ));
+  Dsl.output db "score" score;
+  Dsl.output db "win" correct;
+  Dsl.output db "game_over" (eq_const 2 lives 0);
+  Dsl.output db "hint" (Rtl.Lt (target, guess));
+  Dsl.output db "level" level;
+  Dsl.finish db
+
+(* b13 — Interface to meteo sensors.  Three 8-bit sensor channels with
+   threshold alarms, a debounce counter per channel and a multiplexed
+   serial readout. *)
+let b13 () =
+  let db = Dsl.design "b13" in
+  let temp = Dsl.input db "temp" 8 in
+  let wind = Dsl.input db "wind" 8 in
+  let rain = Dsl.input db "rain" 8 in
+  let chan_sel = Dsl.reg db "chan_sel" ~width:2 ~init:0 in
+  let shift = Dsl.reg db "shift_out" ~width:8 ~init:0 in
+  let bitcnt = Dsl.reg db "bitcnt" ~width:3 ~init:0 in
+  let deb_t = Dsl.reg db "deb_temp" ~width:4 ~init:0 in
+  let deb_w = Dsl.reg db "deb_wind" ~width:4 ~init:0 in
+  let alarm = Dsl.reg db "alarm" ~width:1 ~init:0 in
+  let hot = Rtl.Lt (c 8 0xC0, temp) in
+  let gale = Rtl.Lt (c 8 0xA0, wind) in
+  let wet = Rtl.Lt (c 8 0x80, rain) in
+  let deb step cond = Rtl.Mux (cond, c 4 0, Rtl.Mux (eq_const 4 step 15, inc 4 step, step)) in
+  Dsl.next db "deb_temp" (deb deb_t hot);
+  Dsl.next db "deb_wind" (deb deb_w gale);
+  Dsl.next db "bitcnt" (inc 3 bitcnt);
+  let word_done = eq_const 3 bitcnt 7 in
+  Dsl.next db "chan_sel"
+    (Rtl.Mux (word_done, chan_sel, Rtl.Mux (eq_const 2 chan_sel 2, inc 2 chan_sel, c 2 0)));
+  let selected = Rtl.select chan_sel 8 [ temp; wind; rain; Rtl.Xor (temp, rain) ] in
+  Dsl.next db "shift_out"
+    (Rtl.Mux (word_done, Rtl.Concat (Rtl.Slice (shift, 6, 0), Rtl.zero 1), selected));
+  Dsl.next db "alarm"
+    (Rtl.Or (Rtl.And (eq_const 4 deb_t 15, eq_const 4 deb_w 15), Rtl.And (hot, wet)));
+  Dsl.output db "serial" (Rtl.bit shift 7);
+  Dsl.output db "alarm" alarm;
+  Dsl.output db "channel" chan_sel;
+  Dsl.output db "gust" (Rtl.And (gale, Rtl.Not wet));
+  Dsl.finish db
+
+(* Accumulator-machine processor used for b14/b15: an opcode selects an ALU
+   operation between the accumulator and either an immediate or one of
+   eight general registers; a shift-add multiplier unit, an address adder
+   and condition flags round out the datapath; branches adjust the program
+   counter.  b14 approximates the Viper subset; b15 widens the datapath,
+   adds a barrel shifter, a second ALU working on a register pair and more
+   multiplier stages, approximating the 80386 subset.  Sizes track the
+   paper's relative ordering (the two processors dominate Table 3). *)
+let processor ~name ~width ~barrel ~mul_steps ~second_alu () =
+  let nregs = 8 in
+  let db = Dsl.design name in
+  let instr = Dsl.input db "instr" 16 in
+  let data_in = Dsl.input db "data_in" width in
+  let irq = Dsl.input db "irq" 1 in
+  let acc = Dsl.reg db "acc" ~width ~init:0 in
+  let pc = Dsl.reg db "pc" ~width:12 ~init:0 in
+  let flags_z = Dsl.reg db "flag_z" ~width:1 ~init:0 in
+  let flags_n = Dsl.reg db "flag_n" ~width:1 ~init:0 in
+  let flags_c = Dsl.reg db "flag_c" ~width:1 ~init:0 in
+  let mdr = Dsl.reg db "mdr" ~width ~init:0 in
+  let regs =
+    Array.init nregs (fun i -> Dsl.reg db (Printf.sprintf "r%d" i) ~width ~init:0)
+  in
+  let opcode = Rtl.Slice (instr, 15, 12) in
+  let rsel = Rtl.Slice (instr, 11, 9) in
+  let rsel2 = Rtl.Slice (instr, 8, 6) in
+  let imm8 = Rtl.Slice (instr, 7, 0) in
+  let imm = zext ~from:8 width imm8 in
+  let use_imm = Rtl.bit instr 8 in
+  let reg_sel e = Rtl.select e width (Array.to_list regs) in
+  let operand = Rtl.Mux (use_imm, reg_sel rsel, imm) in
+  let operand2 = reg_sel rsel2 in
+  let alu_out = alu width ~op:(Rtl.Slice (opcode, 2, 0)) acc operand in
+  let shifted =
+    if barrel then barrel_shl width acc (Rtl.Slice (instr, Ee_util.Bits.log2_ceil width + 1, 2))
+    else shl width acc 1
+  in
+  (* Shift-add multiplier over the low [mul_steps] bits of the operand. *)
+  let product =
+    let rec go k acc_e =
+      if k >= mul_steps then acc_e
+      else
+        let partial = Rtl.Mux (Rtl.bit operand k, Rtl.zero width, shl width acc k) in
+        go (k + 1) (Rtl.Add (acc_e, partial))
+    in
+    go 0 (Rtl.zero width)
+  in
+  let addr_unit = Rtl.Add (reg_sel rsel, imm) in
+  let second =
+    if second_alu then alu width ~op:(Rtl.Slice (instr, 2, 0)) operand2 operand
+    else operand2
+  in
+  let result =
+    Rtl.select (Rtl.Slice (opcode, 3, 3)) width [ alu_out; shifted ]
+  in
+  let z, n = alu_flags width result in
+  let cmp_lt = Rtl.Lt (acc, operand) in
+  let is_branch = eq_const 4 opcode 15 in
+  let is_load = eq_const 4 opcode 14 in
+  let is_store = eq_const 4 opcode 13 in
+  let is_mul = eq_const 4 opcode 12 in
+  let is_second = eq_const 4 opcode 11 in
+  let plain_alu =
+    Rtl.Not
+      (Rtl.Or
+         ( Rtl.Or (is_branch, is_load),
+           Rtl.Or (is_store, Rtl.Or (is_mul, is_second)) ))
+  in
+  let next_acc =
+    Rtl.Mux
+      ( plain_alu,
+        Rtl.Mux
+          ( is_load,
+            Rtl.Mux (is_mul, Rtl.Mux (is_second, acc, second), product),
+            Rtl.Mux (irq, data_in, addr_unit) ),
+        result )
+  in
+  Dsl.next db "acc" next_acc;
+  let taken =
+    Rtl.Mux (Rtl.bit instr 8, Rtl.Mux (Rtl.bit instr 7, flags_c, flags_n), flags_z)
+  in
+  let pc_inc = inc 12 pc in
+  let branch_target = Rtl.Add (pc, zext ~from:8 12 imm8) in
+  Dsl.next db "pc" (Rtl.Mux (Rtl.And (is_branch, taken), pc_inc, branch_target));
+  Dsl.next db "flag_z" (Rtl.Mux (plain_alu, flags_z, z));
+  Dsl.next db "flag_n" (Rtl.Mux (plain_alu, flags_n, n));
+  Dsl.next db "flag_c" (Rtl.Mux (plain_alu, flags_c, Rtl.Mux (cmp_lt, c 1 0, c 1 1)));
+  Dsl.next db "mdr" (Rtl.Mux (is_store, mdr, Rtl.Xor (acc, operand2)));
+  Array.iteri
+    (fun i _ ->
+      let sel = Rtl.And (is_store, eq_const 3 rsel i) in
+      Dsl.next db (Printf.sprintf "r%d" i) (Rtl.Mux (sel, regs.(i), acc)))
+    regs;
+  Dsl.output db "acc_out" acc;
+  Dsl.output db "pc_out" pc;
+  Dsl.output db "zero" flags_z;
+  Dsl.output db "neg" flags_n;
+  Dsl.output db "carry" flags_c;
+  Dsl.output db "mem_addr" addr_unit;
+  Dsl.output db "mem_data" mdr;
+  Dsl.output db "store" is_store;
+  Dsl.finish db
+
+let b14 () = processor ~name:"b14" ~width:20 ~barrel:false ~mul_steps:6 ~second_alu:false ()
+
+let b15 () = processor ~name:"b15" ~width:28 ~barrel:true ~mul_steps:8 ~second_alu:true ()
+
+type benchmark = {
+  id : string;
+  description : string;
+  build : unit -> Rtl.design;
+}
+
+let all =
+  [
+    { id = "b01"; description = "FSM that compares serial flows"; build = b01 };
+    { id = "b02"; description = "FSM that recognizes BCD numbers"; build = b02 };
+    { id = "b03"; description = "Resource arbiter"; build = b03 };
+    { id = "b04"; description = "Compute min and max"; build = b04 };
+    { id = "b05"; description = "Elaborate contents of memory"; build = b05 };
+    { id = "b06"; description = "Interrupt handler"; build = b06 };
+    { id = "b07"; description = "Count points on a straight line"; build = b07 };
+    { id = "b08"; description = "Find inclusions in sequences"; build = b08 };
+    { id = "b09"; description = "Serial to serial converter"; build = b09 };
+    { id = "b10"; description = "Voting system"; build = b10 };
+    { id = "b11"; description = "Scramble string with a cipher"; build = b11 };
+    { id = "b12"; description = "1-player game (guess a sequence)"; build = b12 };
+    { id = "b13"; description = "Interface to meteo sensors"; build = b13 };
+    { id = "b14"; description = "Viper processor (subset)"; build = b14 };
+    { id = "b15"; description = "80386 processor (subset)"; build = b15 };
+  ]
+
+let find id = List.find (fun b -> b.id = id) all

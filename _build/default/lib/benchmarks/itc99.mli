@@ -1,0 +1,66 @@
+(** ITC99-analogue benchmark circuits (paper §4, Table 3).
+
+    The originals are VHDL RTL designs distributed by Politecnico di Torino
+    and synthesized with a commercial tool; here each circuit is an OCaml
+    RTL design implementing the same documented function at a comparable
+    relative size (see DESIGN.md for the substitution argument).  The [b*]
+    numbering and one-line descriptions follow the paper's Table 3. *)
+
+open Ee_rtl
+
+val b01 : unit -> Rtl.design
+(** FSM that compares serial flows. *)
+
+val b02 : unit -> Rtl.design
+(** FSM that recognizes BCD numbers. *)
+
+val b03 : unit -> Rtl.design
+(** Resource arbiter. *)
+
+val b04 : unit -> Rtl.design
+(** Compute min and max. *)
+
+val b05 : unit -> Rtl.design
+(** Elaborate contents of memory. *)
+
+val b06 : unit -> Rtl.design
+(** Interrupt handler. *)
+
+val b07 : unit -> Rtl.design
+(** Count points on a straight line. *)
+
+val b08 : unit -> Rtl.design
+(** Find inclusions in sequences. *)
+
+val b09 : unit -> Rtl.design
+(** Serial to serial converter. *)
+
+val b10 : unit -> Rtl.design
+(** Voting system. *)
+
+val b11 : unit -> Rtl.design
+(** Scramble string with a cipher. *)
+
+val b12 : unit -> Rtl.design
+(** 1-player game (guess a sequence). *)
+
+val b13 : unit -> Rtl.design
+(** Interface to meteo sensors. *)
+
+val b14 : unit -> Rtl.design
+(** Viper processor (subset). *)
+
+val b15 : unit -> Rtl.design
+(** 80386 processor (subset). *)
+
+type benchmark = {
+  id : string;
+  description : string;  (** Table 3's wording. *)
+  build : unit -> Rtl.design;
+}
+
+val all : benchmark list
+(** The fifteen circuits in Table 3 order. *)
+
+val find : string -> benchmark
+(** Lookup by id ("b01" … "b15").  Raises [Not_found]. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Ee_logic Ee_phased Ee_sim Ee_util List

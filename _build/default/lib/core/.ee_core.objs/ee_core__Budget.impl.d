@@ -1,0 +1,1 @@
+lib/core/budget.ml: Array Ee_phased Ee_sim Ee_util List Synth Trigger

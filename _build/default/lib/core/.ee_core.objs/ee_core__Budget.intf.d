@@ -1,0 +1,1 @@
+lib/core/budget.mli: Ee_phased Synth

@@ -1,0 +1,1 @@
+lib/core/synth.ml: Array Cost Ee_logic Ee_phased Ee_util List Trigger

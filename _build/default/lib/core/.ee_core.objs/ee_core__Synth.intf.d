@@ -1,0 +1,1 @@
+lib/core/synth.mli: Cost Ee_phased Trigger

@@ -1,0 +1,1 @@
+lib/core/trigger_wide.ml: Ee_logic Ee_util List Trigger

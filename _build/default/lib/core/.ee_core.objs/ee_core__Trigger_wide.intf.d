@@ -1,0 +1,1 @@
+lib/core/trigger_wide.mli: Ee_logic

@@ -1,0 +1,40 @@
+(** Static (simulation-free) performance analysis of PL netlists.
+
+    The paper ranks candidates with Equation 1, a purely structural proxy.
+    This module goes one step further and {e predicts} the average
+    input-stable→output-stable delay analytically:
+
+    - signal probabilities are propagated through the LUT functions from
+      uniform primary inputs and register outputs, assuming fanin
+      independence (the classical signal-probability approximation);
+    - each trigger's firing probability is the probability its function
+      evaluates to 1;
+    - expected fire times mix the early and guarded paths by that
+      probability, approximating [E(max)] by the max of expectations.
+
+    The prediction is a first-order model: reconvergent fanout and
+    correlated state bits make it approximate, but it tracks the simulated
+    averages closely enough to steer EE insertion without running vectors
+    (validated against the simulator in the test suite and the
+    [--analysis] bench). *)
+
+type gate_info = {
+  prob_one : float;  (** P(output = 1) under the independence model. *)
+  expected_fire : float;  (** Expected firing time within a wave. *)
+}
+
+type prediction = {
+  per_gate : gate_info array;
+  predicted_settle : float;
+      (** Expected wave settle time (max over sinks and register D
+          arrivals of expected fire times). *)
+  trigger_rates : (int * float) list;
+      (** Per EE master: predicted probability the trigger fires. *)
+}
+
+val predict : ?config:Ee_sim.Sim.config -> Ee_phased.Pl.t -> prediction
+
+val predicted_speedup :
+  ?config:Ee_sim.Sim.config -> Ee_phased.Pl.t -> Ee_phased.Pl.t -> float
+(** Percent decrease of the predicted settle time between two netlists
+    (typically without and with EE). *)

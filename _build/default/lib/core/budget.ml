@@ -1,0 +1,63 @@
+module Pl = Ee_phased.Pl
+
+let select ?options pl ~budget =
+  if budget < 0 then invalid_arg "Budget.select: negative budget";
+  let choices = Synth.plan ?options pl in
+  let ranked =
+    List.stable_sort
+      (fun (a : Synth.gate_choice) b ->
+        match compare b.Synth.cost a.Synth.cost with
+        | 0 -> compare a.Synth.master b.Synth.master
+        | c -> c)
+      choices
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  (* Re-sort by master id so insertion order is independent of cost. *)
+  List.sort
+    (fun (a : Synth.gate_choice) b -> compare a.Synth.master b.Synth.master)
+    (take budget ranked)
+
+let run ?options pl ~budget =
+  let choices = select ?options pl ~budget in
+  let requests =
+    List.map
+      (fun (c : Synth.gate_choice) ->
+        ( c.Synth.master,
+          {
+            Pl.req_support = c.Synth.chosen.Trigger.subset;
+            req_func = c.Synth.chosen.Trigger.func;
+            req_coverage = c.Synth.chosen.Trigger.coverage;
+            req_cost = c.Synth.cost;
+          } ))
+      choices
+  in
+  let pl' = Pl.with_ee pl requests in
+  let eligible =
+    Array.fold_left
+      (fun acc g -> match g.Pl.kind with Pl.Gate _ -> acc + 1 | _ -> acc)
+      0 (Pl.gates pl)
+  in
+  let pl_gates = Pl.pl_gate_count pl' in
+  let ee_gates = Pl.ee_gate_count pl' in
+  ( pl',
+    {
+      Synth.eligible_gates = eligible;
+      inserted = choices;
+      pl_gates;
+      ee_gates;
+      area_increase_percent =
+        Ee_util.Stats.ratio_percent ~part:(float_of_int ee_gates)
+          ~whole:(float_of_int pl_gates);
+    } )
+
+let pareto ?options ?(vectors = 100) ?(seed = 2002) pl ~budgets =
+  List.map
+    (fun budget ->
+      let pl', report = run ?options pl ~budget in
+      let r = Ee_sim.Sim.run_random pl' ~vectors ~seed in
+      (budget, report.Synth.area_increase_percent, r.Ee_sim.Sim.avg_settle_time))
+    budgets

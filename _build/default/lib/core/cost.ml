@@ -1,0 +1,10 @@
+type weighting = Arrival_weighted | Coverage_only
+
+let cost w ~coverage ~m_max ~t_max =
+  match w with
+  | Coverage_only -> coverage
+  | Arrival_weighted ->
+      if t_max <= 0 then invalid_arg "Cost.cost: t_max must be positive";
+      coverage *. float_of_int m_max /. float_of_int t_max
+
+let speedup_possible ~m_max ~t_max = t_max < m_max

@@ -1,0 +1,21 @@
+(** The paper's cost function (Equation 1):
+
+    [Cost = %Coverage * Mmax / Tmax]
+
+    where [Mmax] and [Tmax] are the maximum arrival times among the master
+    and trigger input signals, in PL-gate units.  A large coverage on
+    slowly-arriving inputs is worth less than moderate coverage on fast
+    inputs; the weighting captures that.  [Coverage_only] is the unweighted
+    ablation (Experiment "Ablation B" in DESIGN.md). *)
+
+type weighting =
+  | Arrival_weighted  (** The paper's Equation 1. *)
+  | Coverage_only  (** Ablation: ignore arrival times. *)
+
+val cost : weighting -> coverage:float -> m_max:int -> t_max:int -> float
+(** [coverage] in percent; [m_max >= t_max >= 1] expected (arrivals use the
+    [Pl.arrival] convention, which is always at least 1). *)
+
+val speedup_possible : m_max:int -> t_max:int -> bool
+(** Early evaluation can only help when the trigger inputs strictly precede
+    the latest master input. *)

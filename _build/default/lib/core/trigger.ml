@@ -1,0 +1,51 @@
+module Lut4 = Ee_logic.Lut4
+
+type candidate = {
+  subset : int;
+  func : Lut4.t;
+  coverage_count : int;
+  coverage : float;
+}
+
+let trigger_function f ~subset =
+  Lut4.of_truthtab
+    (Ee_logic.Truthtab.of_fun 4 (fun m ->
+         match Lut4.constant_under f ~subset ~assignment:m with
+         | Some _ -> true
+         | None -> false))
+
+let candidate f ~subset =
+  let func = trigger_function f ~subset in
+  let coverage_count = Lut4.count_ones func in
+  { subset; func; coverage_count; coverage = 100. *. float_of_int coverage_count /. 16. }
+
+(* The candidate list depends only on the 16-bit function, so a global memo
+   table (at most 2^16 entries) makes whole-netlist synthesis cheap: large
+   circuits reuse a few hundred distinct LUT functions. *)
+let memo : (int, candidate list) Hashtbl.t = Hashtbl.create 1024
+
+let candidates f =
+  match Hashtbl.find_opt memo (Lut4.to_int f) with
+  | Some cs -> cs
+  | None ->
+      let support = Lut4.support f in
+      let subsets = Ee_util.Bits.all_nonempty_proper_subsets support in
+      let cs =
+        List.filter_map
+          (fun subset ->
+            let c = candidate f ~subset in
+            if c.coverage_count > 0 then Some c else None)
+          subsets
+      in
+      Hashtbl.replace memo (Lut4.to_int f) cs;
+      cs
+
+(* Variables: a = position 2, b = position 1, c = position 0; only the low
+   three LUT inputs are used. *)
+let full_adder_carry =
+  let a = Lut4.var 2 and b = Lut4.var 1 and c = Lut4.var 0 in
+  Lut4.logor (Lut4.logand c (Lut4.logor a b)) (Lut4.logand a b)
+
+let full_adder_carry_trigger =
+  let a = Lut4.var 2 and b = Lut4.var 1 in
+  Lut4.lognot (Lut4.logxor a b)

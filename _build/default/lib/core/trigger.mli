@@ -1,0 +1,41 @@
+(** Candidate trigger-function extraction for a LUT4 master function
+    (paper §3).
+
+    For a support subset [S] of the master's inputs, the trigger function
+    is 1 on exactly the assignments of [S] under which the master function
+    is constant (the remaining inputs are don't-cares); its coverage is the
+    fraction of the master's minterms — ON and OFF sets together — decided
+    by [S] alone.  The paper derives this from the prime cube lists of the
+    master's ON and OFF sets (Table 2); {!trigger_function} computes it
+    directly from the truth table, and the two routes provably agree (the
+    test suite checks this on random functions). *)
+
+type candidate = {
+  subset : int;  (** Bitmask of master input positions. *)
+  func : Ee_logic.Lut4.t;
+      (** Trigger function over the master's input positions; depends only
+          on [subset] variables. *)
+  coverage_count : int;  (** Covered minterms, out of 16. *)
+  coverage : float;  (** Percent, [coverage_count / 16 * 100]. *)
+}
+
+val trigger_function : Ee_logic.Lut4.t -> subset:int -> Ee_logic.Lut4.t
+(** [trigger_function f ~subset] — bit [m] is 1 iff [f] restricted to the
+    [subset]-assignment in [m] is constant. *)
+
+val candidate : Ee_logic.Lut4.t -> subset:int -> candidate
+
+val candidates : Ee_logic.Lut4.t -> candidate list
+(** All candidates over non-empty strict subsets of the master's true
+    support with positive coverage, in increasing subset order.  (The paper
+    enumerates all 14 subsets of the four LUT inputs; subsets touching
+    variables outside the support yield the same trigger as their
+    restriction to the support, so enumerating support subsets is
+    equivalent and never misses a candidate.) *)
+
+val full_adder_carry : Ee_logic.Lut4.t
+(** The paper's running example: carry-out [c(a+b) + ab] with a = input 2,
+    b = input 1, c = input 0 (so that minterm index reads "abc"). *)
+
+val full_adder_carry_trigger : Ee_logic.Lut4.t
+(** The trigger [ab + a'b'] of Table 1 (support {a,b}). *)

@@ -1,0 +1,41 @@
+module Tt = Ee_logic.Truthtab
+
+type candidate = {
+  subset : int;
+  coverage_count : int;
+  coverage : float;
+  func : Tt.t;
+}
+
+let trigger_function tt ~subset =
+  Tt.of_fun (Tt.arity tt) (fun m -> Tt.constant_under tt ~subset ~assignment:m <> None)
+
+let candidates tt =
+  let support = Tt.support tt in
+  let size = float_of_int (1 lsl Tt.arity tt) in
+  List.filter_map
+    (fun subset ->
+      let func = trigger_function tt ~subset in
+      let coverage_count = Tt.count_ones func in
+      if coverage_count = 0 then None
+      else
+        Some
+          {
+            subset;
+            coverage_count;
+            coverage = 100. *. float_of_int coverage_count /. size;
+            func;
+          })
+    (Ee_util.Bits.all_nonempty_proper_subsets support)
+
+let agrees_with_lut4 f =
+  let tt = Ee_logic.Lut4.to_truthtab f in
+  let wide = candidates tt in
+  let narrow = Trigger.candidates f in
+  List.length wide = List.length narrow
+  && List.for_all2
+       (fun (w : candidate) (n : Trigger.candidate) ->
+         w.subset = n.Trigger.subset
+         && w.coverage_count = n.Trigger.coverage_count
+         && Tt.equal w.func (Ee_logic.Lut4.to_truthtab n.Trigger.func))
+       wide narrow

@@ -1,0 +1,25 @@
+(** Trigger search generalized beyond LUT4.
+
+    The paper notes (§3) that the exhaustive subset search is practical
+    {e because} the cell is a LUT4: 14 candidate supports, each checked in
+    constant time.  For a k-input cell the candidate count is [2^k - 2]
+    and each coverage computation scans [2^k] minterms, so the cost grows
+    as roughly [4^k].  This module runs the same algorithm over arbitrary
+    truth tables so the [--micro] bench can measure that growth (and so
+    hypothetical LUT5/LUT6 flows could reuse the machinery). *)
+
+type candidate = {
+  subset : int;  (** Variable bitmask. *)
+  coverage_count : int;  (** Covered minterms, of [2^arity]. *)
+  coverage : float;  (** Percent. *)
+  func : Ee_logic.Truthtab.t;  (** Trigger function, same arity as master. *)
+}
+
+val trigger_function : Ee_logic.Truthtab.t -> subset:int -> Ee_logic.Truthtab.t
+
+val candidates : Ee_logic.Truthtab.t -> candidate list
+(** Non-empty strict subsets of the support with positive coverage. *)
+
+val agrees_with_lut4 : Ee_logic.Lut4.t -> bool
+(** Cross-check: at arity 4 this module computes exactly what
+    {!Trigger.candidates} computes. *)

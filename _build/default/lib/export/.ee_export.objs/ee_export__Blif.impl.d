@@ -1,0 +1,1 @@
+lib/export/blif.ml: Array Buffer Ee_logic Ee_netlist Hashtbl List Printf String

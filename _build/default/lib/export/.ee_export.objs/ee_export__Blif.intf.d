@@ -1,0 +1,1 @@
+lib/export/blif.mli: Ee_netlist

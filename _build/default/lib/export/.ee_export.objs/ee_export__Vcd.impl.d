@@ -1,0 +1,1 @@
+lib/export/vcd.ml: Array Buffer Char Ee_phased Ee_sim Ee_util Fun List Printf String

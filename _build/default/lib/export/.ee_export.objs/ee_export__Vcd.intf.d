@@ -1,0 +1,1 @@
+lib/export/vcd.mli: Ee_phased Ee_sim

@@ -1,0 +1,1 @@
+lib/export/vhdl.ml: Array Buffer Ee_logic Ee_phased List Printf String

@@ -1,0 +1,1 @@
+lib/export/vhdl.mli: Ee_netlist Ee_phased

@@ -1,0 +1,20 @@
+(** BLIF (Berkeley Logic Interchange Format) import and export for LUT4
+    netlists.
+
+    The subset handled is the one LUT-mapped netlists need: [.model],
+    [.inputs], [.outputs], [.names] with an ON-set or OFF-set cover of at
+    most four inputs, [.latch] with an initial value, and [.end].
+    Unsupported constructs raise {!Parse_error} with a line number. *)
+
+exception Parse_error of int * string
+(** (line number, message). *)
+
+val to_blif : ?model:string -> Ee_netlist.Netlist.t -> string
+(** LUT functions are written as irredundant prime covers of their ON-set
+    (or their OFF-set when that cover is smaller, per BLIF convention).
+    Latches use [re] (rising edge) with explicit reset values. *)
+
+val of_blif : string -> Ee_netlist.Netlist.t
+(** Parses a single [.model].  Signal names are preserved for primary
+    inputs and outputs; internal names become anonymous nodes.  LUTs with
+    more than four inputs are rejected (this is a LUT4 flow). *)

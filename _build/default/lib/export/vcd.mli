@@ -1,0 +1,23 @@
+(** VCD (Value Change Dump) export of phased-logic wave simulations.
+
+    Records, for a sequence of input vectors, every PL gate's firing as a
+    timed value change — both the logical value and, for LEDR fidelity,
+    the token phase — so a standard waveform viewer (gtkwave etc.) can
+    display how early-evaluation masters fire ahead of their late inputs.
+
+    Waves are serialized as in {!Ee_sim.Sim}; wave [k] is offset by
+    [k * wave_spacing] so consecutive waves don't overlap on the time
+    axis.  Timestamps are scaled by [resolution] ticks per gate delay. *)
+
+val dump :
+  ?config:Ee_sim.Sim.config ->
+  ?resolution:int ->
+  ?wave_spacing:float ->
+  Ee_phased.Pl.t ->
+  vectors:bool array list ->
+  string
+(** [resolution] defaults to 100 ticks per gate delay; [wave_spacing]
+    defaults to the netlist depth + 4 gate delays. *)
+
+val dump_random :
+  ?config:Ee_sim.Sim.config -> Ee_phased.Pl.t -> waves:int -> seed:int -> string

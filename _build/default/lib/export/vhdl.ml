@@ -1,0 +1,131 @@
+module Pl = Ee_phased.Pl
+module Lut4 = Ee_logic.Lut4
+
+let header entity =
+  Printf.sprintf
+    "-- Structural phased-logic netlist (generated; do not edit).\n\
+     -- One pl4gate per PL gate; LEDR pairs <sig>_v/<sig>_t; efire wires\n\
+     -- connect early-evaluation triggers to their masters (paper Fig. 2).\n\
+     library ieee;\n\
+     use ieee.std_logic_1164.all;\n\n\
+     entity %s is\n"
+    entity
+
+let sanitize name =
+  String.map (fun c -> if c = '[' || c = ']' || c = ' ' then '_' else c) name
+
+let of_pl ?(entity = "pl_top") pl =
+  let gates = Pl.gates pl in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (header entity);
+  (* Entity ports: LEDR pair per source and sink, plus reset. *)
+  Buffer.add_string buf "  port (\n    reset : in std_logic;\n";
+  Array.iter
+    (fun id ->
+      match gates.(id).Pl.kind with
+      | Pl.Source name ->
+          let n = sanitize name in
+          Buffer.add_string buf
+            (Printf.sprintf "    %s_v, %s_t : in std_logic;\n    %s_fb : out std_logic;\n" n n n)
+      | _ -> ())
+    (Pl.source_ids pl);
+  let nsinks = Array.length (Pl.sink_ids pl) in
+  Array.iteri
+    (fun k id ->
+      match gates.(id).Pl.kind with
+      | Pl.Sink name ->
+          let n = sanitize name in
+          let sep = if k = nsinks - 1 then "" else ";" in
+          Buffer.add_string buf
+            (Printf.sprintf "    %s_v, %s_t : out std_logic;\n    %s_fb : in std_logic%s\n" n n n sep)
+      | _ -> ())
+    (Pl.sink_ids pl);
+  Buffer.add_string buf "  );\nend entity;\n\n";
+  Buffer.add_string buf (Printf.sprintf "architecture structural of %s is\n" entity);
+  Buffer.add_string buf
+    "  component pl4gate is\n\
+    \    generic (lut : std_logic_vector(15 downto 0));\n\
+    \    port (a_v, a_t, b_v, b_t, c_v, c_t, d_v, d_t : in std_logic;\n\
+    \          fi : in std_logic; fo : out std_logic;\n\
+    \          q_v, q_t : out std_logic; reset : in std_logic);\n\
+    \  end component;\n\
+    \  component pl4gate_ee is\n\
+    \    generic (lut : std_logic_vector(15 downto 0));\n\
+    \    port (a_v, a_t, b_v, b_t, c_v, c_t, d_v, d_t : in std_logic;\n\
+    \          efire_v, efire_t : in std_logic;\n\
+    \          fi : in std_logic; fo : out std_logic;\n\
+    \          q_v, q_t : out std_logic; reset : in std_logic);\n\
+    \  end component;\n";
+  (* Internal LEDR signals, one pair per gate output, plus feedbacks. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Gate _ | Pl.Register _ | Pl.Trigger _ | Pl.Const_source _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  signal g%d_v, g%d_t, g%d_fb : std_logic;\n" i i i)
+      | Pl.Source _ | Pl.Sink _ -> ())
+    gates;
+  Buffer.add_string buf "begin\n";
+  let rails i =
+    match gates.(i).Pl.kind with
+    | Pl.Source name -> let n = sanitize name in (n ^ "_v", n ^ "_t")
+    | _ -> (Printf.sprintf "g%d_v" i, Printf.sprintf "g%d_t" i)
+  in
+  let lut_generic f = Printf.sprintf "\"%s\"" (Lut4.to_string f) in
+  let port_pairs fanin =
+    (* Unused LUT inputs tie to ground rails. *)
+    String.concat ", "
+      (List.init 4 (fun k ->
+           if k < Array.length fanin then
+             let v, t = rails fanin.(k) in
+             Printf.sprintf "%s, %s" v t
+           else "'0', '0'"))
+  in
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Gate func -> (
+          match Pl.ee pl i with
+          | None ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  u%d : pl4gate generic map (lut => %s)\n\
+                   \    port map (%s, fi => g%d_fb, fo => g%d_fb, q_v => g%d_v, q_t => g%d_t, reset => reset);\n"
+                   i (lut_generic func) (port_pairs g.Pl.fanin) i i i i)
+          | Some e ->
+              let ev, et = rails e.Pl.trigger in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  u%d : pl4gate_ee generic map (lut => %s)\n\
+                   \    port map (%s, efire_v => %s, efire_t => %s, fi => g%d_fb, fo => g%d_fb, q_v => g%d_v, q_t => g%d_t, reset => reset);\n"
+                   i (lut_generic func) (port_pairs g.Pl.fanin) ev et i i i i))
+      | Pl.Trigger { func; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  u%d : pl4gate generic map (lut => %s) -- EE trigger\n\
+               \    port map (%s, fi => g%d_fb, fo => g%d_fb, q_v => g%d_v, q_t => g%d_t, reset => reset);\n"
+               i (lut_generic func) (port_pairs g.Pl.fanin) i i i i)
+      | Pl.Register _ ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  u%d : pl4gate generic map (lut => %s) -- register buffer\n\
+               \    port map (%s, fi => g%d_fb, fo => g%d_fb, q_v => g%d_v, q_t => g%d_t, reset => reset);\n"
+               i
+               (lut_generic (Lut4.var 0))
+               (port_pairs g.Pl.fanin) i i i i)
+      | Pl.Const_source v ->
+          let bit = if v then "'1'" else "'0'" in
+          Buffer.add_string buf
+            (Printf.sprintf "  g%d_v <= %s; g%d_t <= g%d_fb; -- constant generator\n" i bit i i)
+      | Pl.Sink name ->
+          let n = sanitize name in
+          let v, t = rails g.Pl.fanin.(0) in
+          Buffer.add_string buf (Printf.sprintf "  %s_v <= %s; %s_t <= %s;\n" n v n t)
+      | Pl.Source name ->
+          let n = sanitize name in
+          Buffer.add_string buf (Printf.sprintf "  %s_fb <= reset; -- environment acknowledge\n" n))
+    gates;
+  Buffer.add_string buf "end architecture;\n";
+  Buffer.contents buf
+
+let of_netlist ?entity nl = of_pl ?entity (Pl.of_netlist nl)

@@ -1,0 +1,20 @@
+(** Structural VHDL export of phased-logic netlists.
+
+    The paper's flow emitted PL VHDL and simulated it with Mentor's qhsim;
+    this module reproduces that artifact: one entity whose architecture
+    instantiates a [pl4gate] component per PL gate (and [pl4gate_ee] plus a
+    trigger gate per early-evaluation pair), with LEDR signal pairs
+    ([<sig>_v], [<sig>_t]) and the feedback nets the mapping implies.  The
+    companion behavioural component declarations are emitted alongside so
+    the file is self-contained for a VHDL simulator with the PL cell
+    library loaded.
+
+    The export is deterministic and purely textual — the test suite checks
+    structure (entity, port and instance counts), not VHDL simulation. *)
+
+val of_pl : ?entity:string -> Ee_phased.Pl.t -> string
+(** Component instantiations follow gate ids; sources and sinks become the
+    entity's ports. *)
+
+val of_netlist : ?entity:string -> Ee_netlist.Netlist.t -> string
+(** Convenience: map to PL first, then export. *)

@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Hashtbl Truthtab

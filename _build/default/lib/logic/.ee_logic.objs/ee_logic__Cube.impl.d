@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Ee_util Format Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/cubelist.ml: Cube Format List Qm String Truthtab

@@ -1,0 +1,1 @@
+lib/logic/cubelist.mli: Cube Format Truthtab

@@ -1,0 +1,1 @@
+lib/logic/isop.ml: Cube List Qm Truthtab

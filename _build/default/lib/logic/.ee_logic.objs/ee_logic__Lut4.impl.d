@@ -1,0 +1,1 @@
+lib/logic/lut4.ml: Array Ee_util Format String Truthtab

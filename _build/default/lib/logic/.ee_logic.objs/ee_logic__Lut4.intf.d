@@ -1,0 +1,1 @@
+lib/logic/lut4.mli: Ee_util Format Truthtab

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Cube Hashtbl List Set Truthtab

@@ -1,0 +1,1 @@
+lib/logic/qm.mli: Cube Truthtab

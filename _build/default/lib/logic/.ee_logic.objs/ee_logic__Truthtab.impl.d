@@ -1,0 +1,1 @@
+lib/logic/truthtab.ml: Array Ee_util Format Hashtbl Int64 List Stdlib String

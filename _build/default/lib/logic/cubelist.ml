@@ -1,0 +1,52 @@
+type t = {
+  nvars : int;
+  on_cubes : Cube.t list;
+  off_cubes : Cube.t list;
+}
+
+let of_truthtab tt =
+  {
+    nvars = Truthtab.arity tt;
+    on_cubes = Qm.primes tt;
+    off_cubes = Qm.primes (Truthtab.lognot tt);
+  }
+
+let nvars t = t.nvars
+
+let on_cubes t = t.on_cubes
+
+let off_cubes t = t.off_cubes
+
+let all_cubes t =
+  List.map (fun c -> (c, true)) t.on_cubes @ List.map (fun c -> (c, false)) t.off_cubes
+
+let to_truthtab t = Qm.cubes_to_truthtab ~nvars:t.nvars t.on_cubes
+
+let qualifying_cubes t ~subset =
+  List.filter (fun (c, _) -> Cube.supported_on c ~subset) (all_cubes t)
+
+let trigger_on_set t ~subset =
+  let cubes = List.map fst (qualifying_cubes t ~subset) in
+  Truthtab.of_fun t.nvars (fun m -> List.exists (fun c -> Cube.contains_minterm c m) cubes)
+
+let coverage_count t ~subset = Truthtab.count_ones (trigger_on_set t ~subset)
+
+let coverage_percent t ~subset =
+  100. *. float_of_int (coverage_count t ~subset) /. float_of_int (1 lsl t.nvars)
+
+let cube_analysis t ~subset =
+  List.map
+    (fun (c, v) ->
+      let contribution =
+        if Cube.supported_on c ~subset then Cube.num_minterms ~nvars:t.nvars c else 0
+      in
+      (c, v, contribution))
+    (all_cubes t)
+
+let pp fmt t =
+  let pr tag cubes =
+    Format.fprintf fmt "%s={%s} " tag
+      (String.concat ", " (List.map (Cube.to_string ~nvars:t.nvars) cubes))
+  in
+  pr "ON" t.on_cubes;
+  pr "OFF" t.off_cubes

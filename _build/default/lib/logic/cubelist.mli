@@ -1,0 +1,46 @@
+(** Cube-list representation of a completely-specified Boolean function: a
+    prime cover of the ON-set together with a prime cover of the OFF-set,
+    which is exactly the representation the paper processes to determine
+    candidate trigger functions (§3, Table 2). *)
+
+type t
+
+val of_truthtab : Truthtab.t -> t
+(** Prime ON and OFF covers of the function. *)
+
+val nvars : t -> int
+
+val on_cubes : t -> Cube.t list
+(** Prime implicants of the ON-set. *)
+
+val off_cubes : t -> Cube.t list
+(** Prime implicants of the OFF-set. *)
+
+val all_cubes : t -> (Cube.t * bool) list
+(** ON and OFF cubes tagged with their output value, ON first. *)
+
+val to_truthtab : t -> Truthtab.t
+(** Reconstruct the function (from the ON cover). *)
+
+val trigger_on_set : t -> subset:int -> Truthtab.t
+(** [trigger_on_set cl ~subset] is the trigger function for the candidate
+    support [subset] (a variable bitmask), derived by the cube route: a
+    minterm triggers iff it lies inside some ON or OFF prime cube whose
+    literals all belong to [subset].  The result has the same arity as the
+    master but depends only on [subset] variables. *)
+
+val coverage_count : t -> subset:int -> int
+(** Number of master minterms (ON and OFF together) covered by
+    subset-supported prime cubes — the numerator of the paper's
+    [%Coverage]. *)
+
+val coverage_percent : t -> subset:int -> float
+(** [coverage_count / 2^nvars * 100]. *)
+
+val cube_analysis : t -> subset:int -> (Cube.t * bool * int) list
+(** Per-cube rows of the paper's Table 2: each master prime cube with its
+    output value and the number of minterms it contributes to the coverage
+    for [subset] (0 when the cube mentions a variable outside the subset).
+    Overlapping contributions are reported per cube, as the paper does. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** Irredundant sum-of-products covers via the Minato–Morreale expansion.
+
+    Where {!Qm.cover} greedily picks among all primes, [cover] builds an
+    irredundant cover directly by the classical interval recursion
+    [isop(L, U)] (here specialized to completely-specified functions,
+    [L = U = f]).  Every cube of the result is an implicant, the union is
+    exactly the ON-set, and no cube can be dropped — tested properties.
+    Typically at least as small as the greedy prime cover; used by the
+    BLIF exporter for compact [.names] bodies. *)
+
+val cover : Truthtab.t -> Cube.t list
+(** Irredundant SOP of the ON-set, sorted. *)
+
+val is_irredundant : Truthtab.t -> Cube.t list -> bool
+(** True when the cubes cover exactly the ON-set and every cube is
+    essential (removing it uncovers some minterm). *)

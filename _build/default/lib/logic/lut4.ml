@@ -1,0 +1,117 @@
+type t = int
+
+let arity = 4
+
+let mask16 = 0xFFFF
+
+let of_int m =
+  if m < 0 || m > mask16 then invalid_arg "Lut4.of_int: out of range";
+  m
+
+let to_int t = t
+
+let of_truthtab tt =
+  let n = Truthtab.arity tt in
+  if n > 4 then invalid_arg "Lut4.of_truthtab: arity > 4";
+  let v = ref 0 in
+  for m = 0 to 15 do
+    (* Pad by ignoring the high variables: evaluate on m mod 2^n. *)
+    if Truthtab.eval tt (m land ((1 lsl n) - 1)) then v := !v lor (1 lsl m)
+  done;
+  !v
+
+let to_truthtab t = Truthtab.of_fun 4 (fun m -> (t lsr m) land 1 = 1)
+
+let const0 = 0
+
+let const1 = mask16
+
+(* Precomputed projection tables: var i is 1 on minterms where bit i set. *)
+let var_table =
+  let tab = Array.make 4 0 in
+  for i = 0 to 3 do
+    let v = ref 0 in
+    for m = 0 to 15 do
+      if (m lsr i) land 1 = 1 then v := !v lor (1 lsl m)
+    done;
+    tab.(i) <- !v
+  done;
+  tab
+
+let var i =
+  if i < 0 || i >= 4 then invalid_arg "Lut4.var: index out of range";
+  var_table.(i)
+
+let lognot t = lnot t land mask16
+
+let logand a b = a land b
+
+let logor a b = a lor b
+
+let logxor a b = a lxor b
+
+let mux ~sel ~f0 ~f1 = (sel land f1) lor (lnot sel land f0 land mask16)
+
+let eval_bits t m = (t lsr (m land 15)) land 1 = 1
+
+let eval t v =
+  let m = ref 0 in
+  for i = 0 to 3 do
+    if Array.length v > i && v.(i) then m := !m lor (1 lsl i)
+  done;
+  eval_bits t !m
+
+let equal (a : t) (b : t) = a = b
+
+let restrict t ~var:i ~value =
+  if i < 0 || i >= 4 then invalid_arg "Lut4.restrict: bad variable";
+  let v = ref 0 in
+  for m = 0 to 15 do
+    let m' = if value then m lor (1 lsl i) else m land lnot (1 lsl i) in
+    if eval_bits t m' then v := !v lor (1 lsl m)
+  done;
+  !v
+
+let depends_on t i = restrict t ~var:i ~value:false <> restrict t ~var:i ~value:true
+
+let support t =
+  let s = ref 0 in
+  for i = 0 to 3 do
+    if depends_on t i then s := !s lor (1 lsl i)
+  done;
+  !s
+
+let support_size t = Ee_util.Bits.popcount (support t)
+
+let constant_under t ~subset ~assignment =
+  let first = ref None in
+  let constant = ref true in
+  (try
+     for m = 0 to 15 do
+       if m land subset = assignment land subset then begin
+         let v = eval_bits t m in
+         match !first with
+         | None -> first := Some v
+         | Some v0 -> if v <> v0 then begin constant := false; raise Exit end
+       end
+     done
+   with Exit -> ());
+  match (!constant, !first) with true, Some v -> Some v | _ -> None
+
+let count_ones t = Ee_util.Bits.popcount t
+
+let random rng =
+  Ee_util.Prng.bits rng 16
+
+let random_with_support rng k =
+  if k < 1 || k > 4 then invalid_arg "Lut4.random_with_support";
+  let want = Ee_util.Bits.mask k in
+  let rec draw () =
+    let f = random rng in
+    if support f = want then f else draw ()
+  in
+  draw ()
+
+let to_string t = String.init 16 (fun i -> if eval_bits t (15 - i) then '1' else '0')
+
+let pp fmt t = Format.fprintf fmt "lut4:%s" (to_string t)

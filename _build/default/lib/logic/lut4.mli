@@ -1,0 +1,77 @@
+(** Fast 4-input look-up-table functions, the cell type of the phased-logic
+    gate (Figure 1 of the paper).
+
+    A value is a 16-bit truth table packed into an [int]; bit [m] is the
+    function value on minterm [m], with variable [i] contributing bit [i] of
+    [m] (variable 0 is the least-significant input).  This mirrors
+    {!Truthtab} at arity 4 but with constant-time operations, since the
+    early-evaluation search evaluates thousands of candidate sub-functions
+    per netlist node. *)
+
+type t = private int
+
+val arity : int
+(** Always 4. *)
+
+val of_int : int -> t
+(** [of_int m] with [0 <= m < 65536].  Raises [Invalid_argument] otherwise. *)
+
+val to_int : t -> int
+
+val of_truthtab : Truthtab.t -> t
+(** The truth table must have arity [<= 4]; smaller arities are padded with
+    don't-depend variables. *)
+
+val to_truthtab : t -> Truthtab.t
+
+val const0 : t
+
+val const1 : t
+
+val var : int -> t
+(** Projection onto input [0 <= i < 4]. *)
+
+val lognot : t -> t
+
+val logand : t -> t -> t
+
+val logor : t -> t -> t
+
+val logxor : t -> t -> t
+
+val mux : sel:t -> f0:t -> f1:t -> t
+(** [mux ~sel ~f0 ~f1] is [if sel then f1 else f0] pointwise. *)
+
+val eval : t -> bool array -> bool
+(** [eval f v] with [v.(i)] the value of input [i]; [v] must have length
+    [>= 4] entries (extra ignored). *)
+
+val eval_bits : t -> int -> bool
+(** [eval_bits f m] evaluates on the packed minterm [m]. *)
+
+val equal : t -> t -> bool
+
+val support : t -> int
+(** Bitmask of inputs the function depends on. *)
+
+val support_size : t -> int
+
+val restrict : t -> var:int -> value:bool -> t
+
+val constant_under : t -> subset:int -> assignment:int -> bool option
+(** Like {!Truthtab.constant_under}: fix the variables of [subset] to their
+    bits in [assignment]; [Some b] when the rest of the function is the
+    constant [b]. *)
+
+val count_ones : t -> int
+
+val random : Ee_util.Prng.t -> t
+
+val random_with_support : Ee_util.Prng.t -> int -> t
+(** [random_with_support rng k] draws random functions until one depends on
+    exactly the first [k] inputs ([1 <= k <= 4]). *)
+
+val to_string : t -> string
+(** 16-character bitstring, highest minterm first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module CubeSet = Set.Make (struct
+  type t = Cube.t
+
+  let compare = Cube.compare
+end)
+
+let primes_of_minterms ~nvars ms =
+  if nvars > 12 then invalid_arg "Qm.primes_of_minterms: too many variables";
+  let current = ref (CubeSet.of_list (List.map (Cube.of_minterm ~nvars) ms)) in
+  let primes = ref CubeSet.empty in
+  while not (CubeSet.is_empty !current) do
+    let cubes = CubeSet.elements !current in
+    let merged = Hashtbl.create 64 in
+    let next = ref CubeSet.empty in
+    (* Pairwise merge of cubes that differ in exactly one polarity. *)
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if j > i then
+              match Cube.merge a b with
+              | Some c ->
+                  Hashtbl.replace merged a ();
+                  Hashtbl.replace merged b ();
+                  next := CubeSet.add c !next
+              | None -> ())
+          cubes)
+      cubes;
+    List.iter
+      (fun c -> if not (Hashtbl.mem merged c) then primes := CubeSet.add c !primes)
+      cubes;
+    current := !next
+  done;
+  CubeSet.elements !primes
+
+let primes tt = primes_of_minterms ~nvars:(Truthtab.arity tt) (Truthtab.minterms tt)
+
+let cubes_to_truthtab ~nvars cubes =
+  Truthtab.of_fun nvars (fun m -> List.exists (fun c -> Cube.contains_minterm c m) cubes)
+
+let cover tt =
+  
+  let ps = primes tt in
+  let remaining = ref (Truthtab.minterms tt) in
+  let chosen = ref [] in
+  (* Greedy set cover: repeatedly take the prime covering the most remaining
+     minterms. *)
+  while !remaining <> [] do
+    let best = ref None in
+    List.iter
+      (fun p ->
+        let gain = List.length (List.filter (Cube.contains_minterm p) !remaining) in
+        match !best with
+        | Some (_, g) when g >= gain -> ()
+        | _ -> if gain > 0 then best := Some (p, gain))
+      ps;
+    match !best with
+    | None -> remaining := [] (* unreachable: primes cover all ON minterms *)
+    | Some (p, _) ->
+        chosen := p :: !chosen;
+        remaining := List.filter (fun m -> not (Cube.contains_minterm p m)) !remaining
+  done;
+  List.sort Cube.compare !chosen

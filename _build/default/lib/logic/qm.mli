@@ -1,0 +1,21 @@
+(** Quine–McCluskey prime-implicant generation.
+
+    Used to derive the ON- and OFF-set prime cube lists from which candidate
+    trigger functions are read off (paper §3, Table 2).  Exponential in the
+    worst case but our universe is LUT4s (4 variables), where it is
+    instantaneous; the implementation supports up to 12 variables for the
+    test suite's cross-checks. *)
+
+val primes : Truthtab.t -> Cube.t list
+(** All prime implicants of the function's ON-set, sorted. *)
+
+val primes_of_minterms : nvars:int -> int list -> Cube.t list
+(** Prime implicants of the function that is true exactly on the given
+    minterms. *)
+
+val cover : Truthtab.t -> Cube.t list
+(** An irredundant (greedy, not guaranteed minimum) cover of the ON-set by
+    prime implicants. *)
+
+val cubes_to_truthtab : nvars:int -> Cube.t list -> Truthtab.t
+(** Union of the cubes as a truth table. *)

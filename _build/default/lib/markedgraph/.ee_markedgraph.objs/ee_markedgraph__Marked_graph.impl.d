@@ -1,0 +1,1 @@
+lib/markedgraph/marked_graph.ml: Array Ee_util List Printf Set

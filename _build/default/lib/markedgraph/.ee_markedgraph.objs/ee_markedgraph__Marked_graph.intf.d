@@ -1,0 +1,1 @@
+lib/markedgraph/marked_graph.mli: Ee_util

@@ -1,0 +1,76 @@
+(** Marked graphs (Commoner et al. 1971), the formal model underlying phased
+    logic.
+
+    Nodes are transitions (PL gates); arcs are places holding tokens (LEDR
+    signals plus feedback/acknowledge wires).  A node fires by consuming one
+    token from every incoming arc and producing one on every outgoing arc.
+
+    The paper requires the PL netlist's marked graph to be {e live} (every
+    directed cycle carries at least one token, and every arc lies on a
+    directed cycle) and {e safe} (no reachable marking puts more than one
+    token on an arc).  Both are decided here with the classical
+    token-invariant characterizations:
+
+    - live ⇔ the sub-graph of token-free arcs is acyclic, and every arc lies
+      in some directed cycle;
+    - safe (given live) ⇔ every arc lies on a directed cycle whose total
+      token count is exactly one. *)
+
+type t
+
+val make : nodes:int -> arcs:(int * int * int) list -> t
+(** [make ~nodes ~arcs] with arcs given as [(src, dst, tokens)].
+    Raises [Invalid_argument] on out-of-range endpoints or negative
+    tokens. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+
+val arcs : t -> (int * int * int) array
+(** [(src, dst, tokens)] per arc, in construction order. *)
+
+val tokens_on_cycles_ok : t -> bool
+(** True iff every directed cycle carries at least one token (token-free
+    sub-graph is acyclic). *)
+
+val all_arcs_on_cycles : t -> bool
+(** True iff every arc lies on some directed cycle. *)
+
+val is_live : t -> bool
+(** [tokens_on_cycles_ok && all_arcs_on_cycles]. *)
+
+val min_cycle_tokens : t -> int -> int option
+(** Minimum total token count over directed cycles through the given arc
+    index; [None] when the arc is on no cycle.  Dijkstra over token
+    weights. *)
+
+val is_safe : t -> bool
+(** Every arc lies on a cycle with total token count exactly 1 (requires
+    {!is_live} for the bound to be reachable; cost O(V·E·log V)). *)
+
+val check_live_safe : t -> (unit, string) result
+(** Human-readable diagnosis naming the first offending arc. *)
+
+(** {1 Token game} *)
+
+type marking
+(** Mutable token counts per arc. *)
+
+val initial_marking : t -> marking
+
+val tokens : marking -> int -> int
+
+val enabled : t -> marking -> int -> bool
+(** A node is enabled when every incoming arc holds at least one token. *)
+
+val fire : t -> marking -> int -> unit
+(** Fires an enabled node.  Raises [Invalid_argument] if not enabled. *)
+
+val enabled_nodes : t -> marking -> int list
+
+val run_token_game : t -> steps:int -> rng:Ee_util.Prng.t ->
+  [ `Ok of int array | `Unsafe of int | `Dead ]
+(** Fire random enabled nodes for [steps] steps.  Returns firing counts,
+    [`Unsafe arc] the first time an arc exceeds one token, or [`Dead] if no
+    node is enabled (impossible in a live graph). *)

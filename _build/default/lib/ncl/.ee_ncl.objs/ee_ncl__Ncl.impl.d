@@ -1,0 +1,1 @@
+lib/ncl/ncl.ml: Array Ee_logic Ee_netlist Ee_util Hashtbl List

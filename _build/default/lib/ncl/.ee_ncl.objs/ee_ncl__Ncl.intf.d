@@ -1,0 +1,1 @@
+lib/ncl/ncl.mli: Ee_netlist

@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array Ee_logic Hashtbl List Netlist

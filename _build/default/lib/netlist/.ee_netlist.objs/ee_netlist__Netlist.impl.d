@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Buffer Ee_logic Ee_util Hashtbl List Printf

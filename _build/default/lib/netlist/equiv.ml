@@ -1,0 +1,86 @@
+module Bdd = Ee_logic.Bdd
+module Lut4 = Ee_logic.Lut4
+
+type verdict =
+  | Equivalent
+  | Output_mismatch of string
+  | Register_mismatch
+  | Port_mismatch of string
+
+let sorted_names ports = List.sort compare (Array.to_list (Array.map fst ports))
+
+(* BDD of every node of [nl], with primary inputs mapped to variables by
+   [input_var] (name -> BDD variable index) and registers, positionally, to
+   variables starting at [reg_base]. *)
+let node_bdds man nl ~input_var ~reg_base =
+  let n = Netlist.node_count nl in
+  let bdd = Array.make n (Bdd.zero man) in
+  let reg_rank = Hashtbl.create 16 in
+  List.iteri (fun k i -> Hashtbl.replace reg_rank i k) (Netlist.dff_ids nl);
+  List.iter
+    (fun i ->
+      bdd.(i) <-
+        (match Netlist.node nl i with
+        | Netlist.Input name -> Bdd.var man (input_var name)
+        | Netlist.Const false -> Bdd.zero man
+        | Netlist.Const true -> Bdd.one man
+        | Netlist.Dff _ -> Bdd.var man (reg_base + Hashtbl.find reg_rank i)
+        | Netlist.Lut { func; fanin } ->
+            (* Shannon-compose the LUT over its fanin BDDs. *)
+            let k = Array.length fanin in
+            let rec expand var assignment =
+              if var = k then
+                if Lut4.eval_bits func assignment then Bdd.one man else Bdd.zero man
+              else
+                let lo = expand (var + 1) assignment in
+                let hi = expand (var + 1) (assignment lor (1 lsl var)) in
+                Bdd.ite man bdd.(fanin.(var)) hi lo
+            in
+            expand 0 0))
+    (Netlist.topo_order nl);
+  bdd
+
+let check a b =
+  let ins_a = sorted_names (Netlist.inputs a) and ins_b = sorted_names (Netlist.inputs b) in
+  let outs_a = sorted_names (Netlist.outputs a) and outs_b = sorted_names (Netlist.outputs b) in
+  if ins_a <> ins_b then Port_mismatch "inputs"
+  else if outs_a <> outs_b then Port_mismatch "outputs"
+  else if List.length (Netlist.dff_ids a) <> List.length (Netlist.dff_ids b) then
+    Register_mismatch
+  else begin
+    let man = Bdd.manager () in
+    let input_index = Hashtbl.create 16 in
+    List.iteri (fun k name -> Hashtbl.replace input_index name k) ins_a;
+    let input_var name = Hashtbl.find input_index name in
+    let reg_base = List.length ins_a in
+    let bdd_a = node_bdds man a ~input_var ~reg_base in
+    let bdd_b = node_bdds man b ~input_var ~reg_base in
+    (* Registers: positional correspondence must agree on reset values and
+       next-state functions. *)
+    let regs_ok =
+      List.for_all2
+        (fun ia ib ->
+          match (Netlist.node a ia, Netlist.node b ib) with
+          | Netlist.Dff { d = da; init = init_a }, Netlist.Dff { d = db; init = init_b } ->
+              init_a = init_b && Bdd.equal bdd_a.(da) bdd_b.(db)
+          | _ -> false)
+        (Netlist.dff_ids a) (Netlist.dff_ids b)
+    in
+    if not regs_ok then Register_mismatch
+    else begin
+      let out_of nl bdds name =
+        let _, id =
+          Array.to_list (Netlist.outputs nl) |> List.find (fun (n, _) -> n = name)
+        in
+        bdds.(id)
+      in
+      let bad =
+        List.find_opt
+          (fun name -> not (Bdd.equal (out_of a bdd_a name) (out_of b bdd_b name)))
+          outs_a
+      in
+      match bad with Some name -> Output_mismatch name | None -> Equivalent
+    end
+  end
+
+let is_equivalent a b = check a b = Equivalent

@@ -1,0 +1,1 @@
+lib/phased/cell.ml: Array Ee_logic Ledr

@@ -1,0 +1,1 @@
+lib/phased/cell.mli: Ee_logic Ledr

@@ -1,0 +1,1 @@
+lib/phased/feedback.ml: Array Ee_markedgraph Hashtbl List Pl

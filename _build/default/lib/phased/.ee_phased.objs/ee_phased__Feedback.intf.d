@@ -1,0 +1,1 @@
+lib/phased/feedback.mli: Ee_markedgraph Pl

@@ -1,0 +1,1 @@
+lib/phased/ledr.mli: Format

@@ -1,0 +1,1 @@
+lib/phased/pl.ml: Array Buffer Ee_logic Ee_markedgraph Ee_netlist Ee_util Hashtbl List Printf

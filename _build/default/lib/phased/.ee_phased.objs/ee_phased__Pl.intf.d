@@ -1,0 +1,1 @@
+lib/phased/pl.mli: Ee_logic Ee_markedgraph Ee_netlist

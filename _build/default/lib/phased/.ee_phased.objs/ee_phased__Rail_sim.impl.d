@@ -1,0 +1,1 @@
+lib/phased/rail_sim.ml: Array Ee_logic Ee_netlist Ee_util Hashtbl Ledr List Pl Printf

@@ -1,0 +1,1 @@
+lib/phased/rail_sim.mli: Ee_netlist Pl

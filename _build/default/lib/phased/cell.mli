@@ -1,0 +1,48 @@
+(** Gate-level model of the PL cell of Figure 1.
+
+    The abstract simulators treat "the gate fires" as primitive.  This
+    module builds the cell out of its actual components — per-input phase
+    comparators (XNOR of the input phase against the gate phase), a
+    multi-input Muller C-element with explicit hysteresis state, the LUT4,
+    and the two output latches holding the LEDR pair — and steps it by
+    evaluating those components until the cell is stable.
+
+    It exists to validate the abstraction: driving the component-level cell
+    with LEDR inputs produces exactly the firing behaviour the netlist
+    simulators assume (one firing per wave, output latched with the new
+    phase, feedback toggling).  The test suite checks this against
+    {!Rail_sim} semantics on random stimuli. *)
+
+type t
+
+val create : Ee_logic.Lut4.t -> arity:int -> t
+(** A cell computing the given LUT over [arity] (1–4) LEDR inputs.  Gate
+    phase and latches start even/zero, as after reset. *)
+
+val inputs : t -> Ledr.rails array
+(** Current input rail pairs (mutable via {!set_input}). *)
+
+val set_input : t -> int -> Ledr.rails -> unit
+
+val settle : t -> int
+(** Evaluate components until no internal signal changes; returns the
+    number of evaluation rounds (0 when already stable).  Raises
+    [Failure] if the cell oscillates (cannot happen for valid LEDR
+    stimuli). *)
+
+val output : t -> Ledr.rails
+(** The latched LEDR output pair. *)
+
+val gate_phase : t -> Ledr.phase
+(** The Muller-C element's state. *)
+
+val fires_pending : t -> bool
+(** True when every input phase differs from the gate phase — the cell
+    will fire on the next {!settle}. *)
+
+val feedback_to_producers : t -> bool
+(** The [fo] wire of Figure 1: inverse of the gate phase, acknowledging
+    token producers. *)
+
+val feedback_to_consumers : t -> bool
+(** Inverse of the output token's phase, signalling token availability. *)

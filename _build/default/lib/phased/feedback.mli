@@ -1,0 +1,32 @@
+(** Feedback (acknowledge) minimization.
+
+    The base synchronous→PL mapping pairs every data arc with a dedicated
+    feedback arc, making each producer/consumer pair a two-node circuit
+    with one token — trivially live and safe.  The paper notes (§1) that
+    phased logic needs less than that: "multiple output signals can be
+    covered by the same feedback signal, and some output signals need no
+    feedback signal if they are already part of a loop".
+
+    This module makes that precise: a feedback arc is {e redundant} when
+    deleting it leaves the marked graph live and safe — i.e. some other
+    directed circuit with exactly one token already constrains the data
+    arc it was protecting (typically a register loop).  Each removed
+    feedback is one less Muller-C input and wire in the implementation.
+
+    The analysis is greedy and order-deterministic; each candidate removal
+    is validated with the full liveness and safety checks, so the result
+    carries the same guarantee as the unoptimized mapping. *)
+
+type analysis = {
+  total_feedbacks : int;  (** Feedback arcs in the base mapping. *)
+  removed : (int * int) list;
+      (** Redundant feedback arcs as (consumer, producer) pairs, in
+          removal order. *)
+  graph : Ee_markedgraph.Marked_graph.t;
+      (** The reduced marked graph (still live and safe). *)
+}
+
+val analyze : Pl.t -> analysis
+
+val savings_percent : analysis -> float
+(** [100 * removed / total_feedbacks]. *)

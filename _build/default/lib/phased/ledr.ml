@@ -1,0 +1,25 @@
+type rails = { v : bool; t : bool }
+
+type phase = Even | Odd
+
+let phase_of_bool b = if b then Odd else Even
+
+let bool_of_phase = function Odd -> true | Even -> false
+
+let phase r = phase_of_bool (r.v <> r.t)
+
+let encode ~value ~phase =
+  (* t must satisfy v XOR t = p. *)
+  { v = value; t = value <> bool_of_phase phase }
+
+let value r = r.v
+
+let flip = function Even -> Odd | Odd -> Even
+
+let next r value' = encode ~value:value' ~phase:(flip (phase r))
+
+let hamming a b = (if a.v <> b.v then 1 else 0) + if a.t <> b.t then 1 else 0
+
+let pp fmt r =
+  Format.fprintf fmt "(v=%b,t=%b,%s)" r.v r.t
+    (match phase r with Even -> "even" | Odd -> "odd")

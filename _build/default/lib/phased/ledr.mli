@@ -1,0 +1,36 @@
+(** Level-Encoded Dual-Rail (LEDR) signal encoding (Dean, Williams, Dill
+    1991), the token encoding of phased logic.
+
+    A signal is a pair of rails [(v, t)].  The [v] rail carries the logic
+    value exactly as in a single-rail system; the phase of the token is
+    [p = v XOR t] ([p = 1] is odd, [p = 0] is even, paper §2.1).  Between
+    consecutive tokens exactly one rail changes, which is what makes the
+    encoding delay-insensitive on a wire pair. *)
+
+type rails = { v : bool; t : bool }
+
+type phase = Even | Odd
+
+val phase_of_bool : bool -> phase
+(** [true] is odd (the paper's [p = 1]). *)
+
+val bool_of_phase : phase -> bool
+
+val phase : rails -> phase
+(** [p = v XOR t]. *)
+
+val encode : value:bool -> phase:phase -> rails
+(** The unique rail pair carrying [value] in [phase]. *)
+
+val value : rails -> bool
+
+val next : rails -> bool -> rails
+(** [next r value'] is the encoding of the successor token: same wire pair,
+    opposite phase, new value.  Exactly one rail differs from [r]. *)
+
+val flip : phase -> phase
+
+val hamming : rails -> rails -> int
+(** Number of rails that differ (0–2). *)
+
+val pp : Format.formatter -> rails -> unit

@@ -1,0 +1,192 @@
+module Lut4 = Ee_logic.Lut4
+
+exception Protocol_violation of string
+
+type t = {
+  pl : Pl.t;
+  rails : Ledr.rails array; (* output wire pair per gate *)
+  gate_phase : Ledr.phase array;
+  reg_state : bool array;
+  source_pos : (int, int) Hashtbl.t;
+  mutable wave_phase : Ledr.phase; (* phase carried by the NEXT wave's tokens *)
+}
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
+
+let create pl =
+  let n = Array.length (Pl.gates pl) in
+  let reg_state = Array.make n false in
+  Array.iteri
+    (fun i g -> match g.Pl.kind with Pl.Register init -> reg_state.(i) <- init | _ -> ())
+    (Pl.gates pl);
+  let source_pos = Hashtbl.create 16 in
+  Array.iteri (fun k id -> Hashtbl.replace source_pos id k) (Pl.source_ids pl);
+  {
+    pl;
+    rails = Array.make n (Ledr.encode ~value:false ~phase:Ledr.Even);
+    gate_phase = Array.make n Ledr.Even;
+    reg_state;
+    source_pos;
+    wave_phase = Ledr.Odd;
+  }
+
+let reset t =
+  Array.iteri
+    (fun i g ->
+      (match g.Pl.kind with
+      | Pl.Register init -> t.reg_state.(i) <- init
+      | _ -> t.reg_state.(i) <- false);
+      t.rails.(i) <- Ledr.encode ~value:false ~phase:Ledr.Even;
+      t.gate_phase.(i) <- Ledr.Even)
+    (Pl.gates t.pl);
+  t.wave_phase <- Ledr.Odd
+
+(* Latch a new value into a gate's output pair, enforcing the LEDR
+   single-rail-transition property. *)
+let latch t i value =
+  let current = t.rails.(i) in
+  let fresh = Ledr.next current value in
+  if Ledr.hamming current fresh <> 1 then
+    violation "gate %d: transition changed %d rails" i (Ledr.hamming current fresh);
+  if Ledr.phase fresh <> t.wave_phase then
+    violation "gate %d: latched wrong phase" i;
+  t.rails.(i) <- fresh
+
+let apply t vector =
+  let gates = Pl.gates t.pl in
+  let n = Array.length gates in
+  let wave = t.wave_phase in
+  if Array.length vector <> Array.length (Pl.source_ids t.pl) then
+    invalid_arg "Rail_sim.apply: wrong vector length";
+  (* Environment and token-holding gates emit the new wave's tokens. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Source _ ->
+          latch t i vector.(Hashtbl.find t.source_pos i);
+          t.gate_phase.(i) <- wave
+      | Pl.Const_source v ->
+          latch t i v;
+          t.gate_phase.(i) <- wave
+      | Pl.Register _ ->
+          latch t i t.reg_state.(i);
+          t.gate_phase.(i) <- wave
+      | Pl.Gate _ | Pl.Trigger _ | Pl.Sink _ -> ())
+    gates;
+  (* Fire combinational gates with the Muller-C rule until quiescent.  The
+     scan is a fixpoint: firing order does not matter, but early firings
+     may interleave with normal ones. *)
+  let early = ref 0 in
+  let early_fired_value = Array.make n None in
+  let input_phase_ok i =
+    Array.for_all (fun f -> Ledr.phase t.rails.(f) = wave) gates.(i).Pl.fanin
+  in
+  let eval_gate func fanin =
+    let v = Array.make 4 false in
+    Array.iteri (fun k f -> v.(k) <- Ledr.value t.rails.(f)) fanin;
+    Lut4.eval func v
+  in
+  (* Unit-delay rounds: each round decides which gates fire from a snapshot
+     of the rails, then fires them together.  A master whose trigger and
+     subset inputs are fresh fires in an earlier round than its late-input
+     chain would allow — the rail-level picture of early evaluation. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let to_fire = ref [] in
+    for i = 0 to n - 1 do
+      if t.gate_phase.(i) <> wave then begin
+        match gates.(i).Pl.kind with
+        | Pl.Trigger { func; _ } ->
+            if input_phase_ok i then
+              to_fire := (i, eval_gate func gates.(i).Pl.fanin, false) :: !to_fire
+        | Pl.Gate func ->
+            let normal_ready = input_phase_ok i in
+            let early_ready =
+              match Pl.ee t.pl i with
+              | Some e ->
+                  let trig = e.Pl.trigger in
+                  Ledr.phase t.rails.(trig) = wave
+                  && Ledr.value t.rails.(trig)
+                  && Ee_util.Bits.fold_bits e.Pl.support
+                       (fun acc p ->
+                         acc && Ledr.phase t.rails.(gates.(i).Pl.fanin.(p)) = wave)
+                       true
+              | None -> false
+            in
+            if normal_ready || early_ready then
+              (* The LUT sees whatever the rails hold right now; for an
+                 early firing the late inputs still carry the previous
+                 wave's values, and the trigger guarantees insensitivity. *)
+              to_fire :=
+                (i, eval_gate func gates.(i).Pl.fanin, early_ready && not normal_ready)
+                :: !to_fire
+        | Pl.Source _ | Pl.Const_source _ | Pl.Register _ | Pl.Sink _ -> ()
+      end
+    done;
+    List.iter
+      (fun (i, value, was_early) ->
+        latch t i value;
+        t.gate_phase.(i) <- wave;
+        progress := true;
+        if was_early then begin
+          incr early;
+          early_fired_value.(i) <- Some value
+        end)
+      !to_fire
+  done;
+  (* Every combinational gate must have fired exactly once. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Gate _ | Pl.Trigger _ ->
+          if t.gate_phase.(i) <> wave then violation "gate %d never fired" i
+      | _ -> ())
+    gates;
+  (* Late inputs have all arrived now: re-evaluate the early-fired masters
+     and confirm the latched value was correct (the paper's don't-care
+     argument made executable). *)
+  Array.iteri
+    (fun i latched ->
+      match latched with
+      | Some v ->
+          let g = gates.(i) in
+          let func = match g.Pl.kind with Pl.Gate f -> f | _ -> assert false in
+          let now = eval_gate func g.Pl.fanin in
+          if now <> v then violation "gate %d: early value contradicted by late inputs" i
+      | None -> ())
+    early_fired_value;
+  (* Registers capture their D inputs; sinks observe. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Register _ ->
+          let d = g.Pl.fanin.(0) in
+          if Ledr.phase t.rails.(d) <> wave then violation "register %d: stale D input" i;
+          t.reg_state.(i) <- Ledr.value t.rails.(d)
+      | Pl.Sink _ ->
+          t.gate_phase.(i) <- wave
+      | _ -> ())
+    gates;
+  let outputs =
+    Array.map (fun s -> Ledr.value t.rails.((Pl.gates t.pl).(s).Pl.fanin.(0))) (Pl.sink_ids t.pl)
+  in
+  t.wave_phase <- Ledr.flip wave;
+  (outputs, !early)
+
+let run_check pl nl ~vectors ~seed =
+  let rng = Ee_util.Prng.create seed in
+  let t = create pl in
+  let st = ref (Ee_netlist.Netlist.initial_state nl) in
+  let width = Array.length (Pl.source_ids pl) in
+  let ok = ref true in
+  for _ = 1 to vectors do
+    if !ok then begin
+      let vec = Ee_util.Prng.bool_vector rng width in
+      let outs, _ = apply t vec in
+      let expected, st' = Ee_netlist.Netlist.step nl !st vec in
+      st := st';
+      if outs <> expected then ok := false
+    end
+  done;
+  !ok

@@ -1,0 +1,43 @@
+(** Rail-level simulation of phased-logic netlists — Figure 1 executed
+    literally.
+
+    Where the token simulators treat a PL gate abstractly, this module keeps
+    the actual LEDR wire pair of every signal and the phase bit of every
+    gate, and applies the paper's firing rule directly: a gate fires when
+    the phase of every input signal (computed as [v XOR t]) differs from
+    the gate's own phase; firing latches the LUT4 output into the rail pair
+    with the new phase and toggles the gate phase.
+
+    The point of simulating at this level is to witness two facts the token
+    abstraction takes on faith:
+
+    - every signal transition flips exactly one of the two rails (the LEDR
+      delay-insensitivity property), checked on every firing;
+    - an early-evaluation master that fires while its late inputs still
+      hold the {e previous} wave's rails nevertheless latches the correct
+      value, because the trigger guarantees the function is insensitive to
+      those inputs — checked by re-evaluating once the late rails arrive.
+
+    Waves are serialized, as in {!Sim}; this simulator checks values and
+    encoding invariants, not timing. *)
+
+type t
+
+val create : Pl.t -> t
+
+val reset : t -> unit
+
+exception Protocol_violation of string
+(** A gate fired twice in a wave, failed to fire, changed both rails at
+    once, or an early-fired master's value was contradicted by its late
+    inputs.  None of these can happen for netlists built by
+    [Pl.of_netlist] / [Pl.with_ee]. *)
+
+val apply : t -> bool array -> bool array * int
+(** [apply t vector] runs one wave with the inputs in source order and
+    returns the sink values (sink order) and the number of masters that
+    fired early (before all their inputs carried the new phase). *)
+
+val run_check : Pl.t -> Ee_netlist.Netlist.t -> vectors:int -> seed:int -> bool
+(** Cross-check rail-level simulation against the synchronous golden model
+    on random vectors. *)

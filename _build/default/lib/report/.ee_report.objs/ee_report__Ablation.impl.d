@@ -1,0 +1,1 @@
+lib/report/ablation.ml: Ee_bench_circuits Ee_core Ee_phased Ee_rtl Ee_sim Ee_util List Printf

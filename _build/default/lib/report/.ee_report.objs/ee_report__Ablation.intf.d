@@ -1,0 +1,1 @@
+lib/report/ablation.mli: Ee_sim Ee_util

@@ -1,0 +1,1 @@
+lib/report/pipeline.ml: Ee_bench_circuits Ee_core Ee_markedgraph Ee_netlist Ee_phased Ee_rtl List Printf

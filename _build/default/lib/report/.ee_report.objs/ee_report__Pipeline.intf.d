@@ -1,0 +1,1 @@
+lib/report/pipeline.mli: Ee_bench_circuits Ee_core Ee_netlist Ee_phased Ee_rtl

@@ -1,0 +1,1 @@
+lib/report/sweep.mli: Ee_bench_circuits Ee_sim Ee_util

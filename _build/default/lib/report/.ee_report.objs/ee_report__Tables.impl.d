@@ -1,0 +1,1 @@
+lib/report/tables.ml: Ee_core Ee_logic Ee_sim Ee_util List Pipeline Printf

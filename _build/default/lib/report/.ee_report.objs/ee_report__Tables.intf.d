@@ -1,0 +1,1 @@
+lib/report/tables.mli: Ee_core Ee_sim Ee_util Pipeline

@@ -1,0 +1,41 @@
+type row = {
+  id : string;
+  weighted_decrease : float;
+  coverage_only_decrease : float;
+}
+
+let run ?(vectors = 100) ?(seed = 2002) ?config () =
+  List.map
+    (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+      let design = b.build () in
+      let netlist = Ee_rtl.Techmap.run_rtl design in
+      let pl = Ee_phased.Pl.of_netlist netlist in
+      let base = (Ee_sim.Sim.run_random ?config pl ~vectors ~seed).Ee_sim.Sim.avg_settle_time in
+      let decrease weighting =
+        let options = { Ee_core.Synth.default_options with weighting } in
+        let pl_ee, _ = Ee_core.Synth.run ~options pl in
+        let d = (Ee_sim.Sim.run_random ?config pl_ee ~vectors ~seed).Ee_sim.Sim.avg_settle_time in
+        Ee_util.Stats.percent_change ~before:base ~after:d
+      in
+      {
+        id = b.id;
+        weighted_decrease = decrease Ee_core.Cost.Arrival_weighted;
+        coverage_only_decrease = decrease Ee_core.Cost.Coverage_only;
+      })
+    Ee_bench_circuits.Itc99.all
+
+let to_table rows =
+  let t =
+    Ee_util.Table.create
+      ~headers:[ "Benchmark"; "% Delay Decrease (Eq. 1)"; "% Delay Decrease (coverage only)" ]
+  in
+  List.iter
+    (fun r ->
+      Ee_util.Table.add_row t
+        [
+          r.id;
+          Printf.sprintf "%.1f%%" r.weighted_decrease;
+          Printf.sprintf "%.1f%%" r.coverage_only_decrease;
+        ])
+    rows;
+  t

@@ -1,0 +1,16 @@
+(** Cost-weighting ablation: the paper argues (§3) that coverage must be
+    weighted by relative arrival times — "a large coverage of a potential
+    trigger function may depend on slowly arriving signals and thus not be
+    as effective".  This experiment runs the full suite with Equation 1
+    versus coverage-only selection. *)
+
+type row = {
+  id : string;
+  weighted_decrease : float;  (** % delay decrease with Equation 1. *)
+  coverage_only_decrease : float;  (** % with the unweighted cost. *)
+}
+
+val run :
+  ?vectors:int -> ?seed:int -> ?config:Ee_sim.Sim.config -> unit -> row list
+
+val to_table : row list -> Ee_util.Table.t

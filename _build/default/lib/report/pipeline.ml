@@ -1,0 +1,28 @@
+type artifact = {
+  id : string;
+  description : string;
+  design : Ee_rtl.Rtl.design;
+  netlist : Ee_netlist.Netlist.t;
+  pl : Ee_phased.Pl.t;
+  pl_ee : Ee_phased.Pl.t;
+  synth_report : Ee_core.Synth.report;
+}
+
+let build ?(options = Ee_core.Synth.default_options) (b : Ee_bench_circuits.Itc99.benchmark) =
+  let design = b.build () in
+  let netlist = Ee_rtl.Techmap.run_rtl design in
+  let pl = Ee_phased.Pl.of_netlist netlist in
+  let pl_ee, synth_report = Ee_core.Synth.run ~options pl in
+  { id = b.id; description = b.description; design; netlist; pl; pl_ee; synth_report }
+
+let build_all ?options () =
+  List.map (fun b -> build ?options b) Ee_bench_circuits.Itc99.all
+
+let check_live_safe a =
+  let check tag pl =
+    let mg = Ee_phased.Pl.to_marked_graph pl in
+    match Ee_markedgraph.Marked_graph.check_live_safe mg with
+    | Ok () -> Ok ()
+    | Error msg -> Error (Printf.sprintf "%s (%s): %s" a.id tag msg)
+  in
+  match check "no-EE" a.pl with Ok () -> check "EE" a.pl_ee | e -> e

@@ -1,0 +1,22 @@
+(** The full synthesis pipeline of the paper, from RTL benchmark to a pair
+    of PL netlists (without and with early evaluation):
+
+    RTL → bit-blast → LUT4 map → PL map → EE post-processing. *)
+
+type artifact = {
+  id : string;
+  description : string;
+  design : Ee_rtl.Rtl.design;
+  netlist : Ee_netlist.Netlist.t;
+  pl : Ee_phased.Pl.t;  (** Without EE. *)
+  pl_ee : Ee_phased.Pl.t;  (** With EE pairs attached. *)
+  synth_report : Ee_core.Synth.report;
+}
+
+val build : ?options:Ee_core.Synth.options -> Ee_bench_circuits.Itc99.benchmark -> artifact
+
+val build_all : ?options:Ee_core.Synth.options -> unit -> artifact list
+(** All fifteen Table 3 benchmarks. *)
+
+val check_live_safe : artifact -> (unit, string) result
+(** Marked-graph liveness and safety of both PL netlists. *)

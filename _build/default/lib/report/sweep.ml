@@ -1,0 +1,47 @@
+type point = {
+  threshold : float;
+  ee_gates : int;
+  area_increase : float;
+  avg_delay : float;
+  delay_decrease : float;
+}
+
+let run ?(vectors = 100) ?(seed = 2002) ?config ~thresholds (b : Ee_bench_circuits.Itc99.benchmark) =
+  let design = b.build () in
+  let netlist = Ee_rtl.Techmap.run_rtl design in
+  let pl = Ee_phased.Pl.of_netlist netlist in
+  let base = Ee_sim.Sim.run_random ?config pl ~vectors ~seed in
+  let baseline = base.Ee_sim.Sim.avg_settle_time in
+  List.map
+    (fun threshold ->
+      let options = { Ee_core.Synth.default_options with threshold } in
+      let pl_ee, report = Ee_core.Synth.run ~options pl in
+      let r = Ee_sim.Sim.run_random ?config pl_ee ~vectors ~seed in
+      let avg_delay = r.Ee_sim.Sim.avg_settle_time in
+      {
+        threshold;
+        ee_gates = report.Ee_core.Synth.ee_gates;
+        area_increase = report.Ee_core.Synth.area_increase_percent;
+        avg_delay;
+        delay_decrease = Ee_util.Stats.percent_change ~before:baseline ~after:avg_delay;
+      })
+    thresholds
+
+let to_table points =
+  let t =
+    Ee_util.Table.create
+      ~headers:
+        [ "Threshold"; "EE Gates"; "% Area Increase"; "Avg Delay"; "% Delay Decrease" ]
+  in
+  List.iter
+    (fun p ->
+      Ee_util.Table.add_row t
+        [
+          Printf.sprintf "%.0f" p.threshold;
+          string_of_int p.ee_gates;
+          Printf.sprintf "%.0f%%" p.area_increase;
+          Printf.sprintf "%.2f" p.avg_delay;
+          Printf.sprintf "%.1f%%" p.delay_decrease;
+        ])
+    points;
+  t

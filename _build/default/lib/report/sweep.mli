@@ -1,0 +1,23 @@
+(** Cost-threshold sweep (the area/delay trade-off the paper describes in
+    §4: "Thresholding the cost function allows for a tradeoff in area versus
+    delay of a PL circuit"). *)
+
+type point = {
+  threshold : float;
+  ee_gates : int;
+  area_increase : float;  (** percent *)
+  avg_delay : float;
+  delay_decrease : float;  (** percent vs. the no-EE baseline *)
+}
+
+val run :
+  ?vectors:int ->
+  ?seed:int ->
+  ?config:Ee_sim.Sim.config ->
+  thresholds:float list ->
+  Ee_bench_circuits.Itc99.benchmark ->
+  point list
+(** One synthesis + simulation per threshold; the no-EE baseline delay is
+    measured once. *)
+
+val to_table : point list -> Ee_util.Table.t

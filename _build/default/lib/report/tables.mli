@@ -1,0 +1,54 @@
+(** Renderers that regenerate each table of the paper (see the experiment
+    index in DESIGN.md). *)
+
+(** {1 Table 1 — master and trigger truth tables for the full-adder carry} *)
+
+val table1 : unit -> Ee_util.Table.t
+(** Rows "abc | master | trigger" for the carry-out [c(a+b) + ab] and its
+    {a,b} trigger [ab + a'b']; coverage is printed by the caller. *)
+
+val table1_coverage : unit -> float
+(** The 50% of the paper. *)
+
+(** {1 Table 2 — candidate trigger determination from the cube list} *)
+
+val table2 : unit -> Ee_util.Table.t
+(** Master prime cubes (ON and OFF) with their output value and their
+    minterm contribution to the {a,b} coverage.  The cube rows are the
+    prime covers computed by {!Ee_logic.Cubelist}; the paper prints an
+    equivalent irredundant cover, with identical totals. *)
+
+(** {1 Table 3 — the main experiment} *)
+
+type row = {
+  id : string;
+  description : string;
+  pl_gates : int;
+  ee_gates : int;
+  delay_no_ee : float;
+  delay_ee : float;
+  delay_diff : float;
+  area_increase : float;  (** percent *)
+  delay_decrease : float;  (** percent *)
+}
+
+type table3 = {
+  rows : row list;
+  avg_area_increase : float;
+  avg_delay_decrease : float;
+}
+
+val run_table3 :
+  ?vectors:int ->
+  ?seed:int ->
+  ?config:Ee_sim.Sim.config ->
+  ?options:Ee_core.Synth.options ->
+  unit ->
+  table3
+(** Default 100 random vectors per circuit (the paper's protocol),
+    seed 2002. *)
+
+val table3_to_table : table3 -> Ee_util.Table.t
+
+val row_of_artifact :
+  ?vectors:int -> ?seed:int -> ?config:Ee_sim.Sim.config -> Pipeline.artifact -> row

@@ -1,0 +1,1 @@
+lib/rtl/cutmap.ml: Array Ee_core Ee_logic Ee_netlist Ee_util Elaborate Gates Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/rtl/cutmap.mli: Ee_netlist Gates Rtl

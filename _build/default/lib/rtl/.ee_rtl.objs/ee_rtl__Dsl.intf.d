@@ -1,0 +1,1 @@
+lib/rtl/dsl.mli: Rtl

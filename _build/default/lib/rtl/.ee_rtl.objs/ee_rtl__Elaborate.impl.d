@@ -1,0 +1,1 @@
+lib/rtl/elaborate.ml: Array Gates Hashtbl List Rtl

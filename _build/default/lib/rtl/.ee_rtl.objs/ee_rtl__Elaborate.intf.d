@@ -1,0 +1,1 @@
+lib/rtl/elaborate.mli: Gates Rtl

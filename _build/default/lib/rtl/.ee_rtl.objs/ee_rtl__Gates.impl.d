@@ -1,0 +1,1 @@
+lib/rtl/gates.ml: Array Hashtbl List

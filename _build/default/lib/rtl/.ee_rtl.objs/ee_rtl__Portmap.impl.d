@@ -1,0 +1,1 @@
+lib/rtl/portmap.ml: Array Ee_netlist Ee_util Hashtbl List Option Rtl String

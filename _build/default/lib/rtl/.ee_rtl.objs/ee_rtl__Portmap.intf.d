@@ -1,0 +1,1 @@
+lib/rtl/portmap.mli: Ee_netlist Ee_util Rtl

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Ee_util Format List Printf

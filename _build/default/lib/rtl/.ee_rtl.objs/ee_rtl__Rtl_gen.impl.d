@@ -1,0 +1,1 @@
+lib/rtl/rtl_gen.ml: Ee_util List Printf Rtl

@@ -1,0 +1,1 @@
+lib/rtl/rtl_gen.mli: Rtl

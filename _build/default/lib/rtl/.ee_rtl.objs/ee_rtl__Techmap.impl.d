@@ -1,0 +1,1 @@
+lib/rtl/techmap.ml: Array Ee_logic Ee_netlist Elaborate Gates Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/rtl/techmap.mli: Ee_netlist Gates Rtl

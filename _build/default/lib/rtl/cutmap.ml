@@ -1,0 +1,206 @@
+module Netlist = Ee_netlist.Netlist
+module Lut4 = Ee_logic.Lut4
+
+type mode = Depth | Ee_aware
+
+let is_leaf = function
+  | Gates.Gconst _ | Gates.Ginput _ | Gates.Greg _ -> true
+  | Gates.Gnot _ | Gates.Gand _ | Gates.Gor _ | Gates.Gxor _ | Gates.Gmux _ -> false
+
+let gate_fanins = function
+  | Gates.Gconst _ | Gates.Ginput _ | Gates.Greg _ -> []
+  | Gates.Gnot x -> [ x ]
+  | Gates.Gand (x, y) | Gates.Gor (x, y) | Gates.Gxor (x, y) -> [ x; y ]
+  | Gates.Gmux (s, f0, f1) -> [ s; f0; f1 ]
+
+(* Evaluate the cone of [root] with boolean [assignment] on the cut leaves
+   (an association list; every path from the primary leaves to [root]
+   crosses it). *)
+let eval_cone gates root assignment =
+  let memo = Hashtbl.create 16 in
+  let rec ev i =
+    match List.assoc_opt i assignment with
+    | Some v -> v
+    | None -> (
+        match Hashtbl.find_opt memo i with
+        | Some v -> v
+        | None ->
+            let v =
+              match gates.(i) with
+              | Gates.Gconst v -> v
+              | Gates.Ginput _ | Gates.Greg _ -> assert false
+              | Gates.Gnot x -> not (ev x)
+              | Gates.Gand (x, y) -> ev x && ev y
+              | Gates.Gor (x, y) -> ev x || ev y
+              | Gates.Gxor (x, y) -> ev x <> ev y
+              | Gates.Gmux (s, f0, f1) -> if ev s then ev f1 else ev f0
+            in
+            Hashtbl.replace memo i v;
+            v
+    )
+  in
+  ev root
+
+let cut_function gates root cut =
+  let k = List.length cut in
+  Lut4.of_truthtab
+    (Ee_logic.Truthtab.of_fun k (fun m ->
+         let assignment = List.mapi (fun j l -> (l, (m lsr j) land 1 = 1)) cut in
+         eval_cone gates root assignment))
+
+(* Expected arrival of a cut under early evaluation, in level units with a
+   uniform-input trigger-rate model (see Ee_core.Analysis). *)
+let ee_expected_arrival gates root cut leaf_arrival =
+  let f = cut_function gates root cut in
+  let arrivals = Array.of_list (List.map leaf_arrival cut) in
+  let support = Lut4.support f in
+  let m_max =
+    Ee_util.Bits.fold_bits support (fun acc p -> max acc arrivals.(p)) 0.
+  in
+  let base = m_max +. 1. in
+  let best =
+    List.fold_left
+      (fun acc (c : Ee_core.Trigger.candidate) ->
+        let t_max =
+          Ee_util.Bits.fold_bits c.Ee_core.Trigger.subset
+            (fun a p -> max a arrivals.(p))
+            0.
+        in
+        if t_max >= m_max then acc
+        else
+          let p = float_of_int c.Ee_core.Trigger.coverage_count /. 16. in
+          min acc ((p *. (t_max +. 1.)) +. ((1. -. p) *. base)))
+      base
+      (Ee_core.Trigger.candidates f)
+  in
+  best
+
+let run ?(mode = Depth) ?(cuts_per_node = 8) (c : Gates.circuit) =
+  let gates = c.Gates.gates in
+  let n = Array.length gates in
+  (* Per node: priority cut list (each cut sorted, without the trivial cut)
+     plus the node's label (best achievable arrival) and chosen cut. *)
+  let cut_lists = Array.make n [] in
+  let labels = Array.make n 0. in
+  let best_cut = Array.make n [] in
+  let merge_cuts lists =
+    (* Cartesian merge of one cut per fanin, capped at 4 leaves. *)
+    let rec go acc = function
+      | [] -> [ acc ]
+      | options :: rest ->
+          List.concat_map
+            (fun cut ->
+              let merged = List.sort_uniq compare (acc @ cut) in
+              if List.length merged <= 4 then go merged rest else [])
+            options
+    in
+    go [] lists
+  in
+  for i = 0 to n - 1 do
+    if is_leaf gates.(i) then begin
+      labels.(i) <- 0.;
+      cut_lists.(i) <- [ [ i ] ];
+      best_cut.(i) <- [ i ]
+    end
+    else begin
+      let fanins = gate_fanins gates.(i) in
+      let options = List.map (fun f -> cut_lists.(f)) fanins in
+      let merged = List.sort_uniq compare (merge_cuts options) in
+      (* Depth pre-score to bound the expensive EE scoring. *)
+      let depth_score cut =
+        1. +. List.fold_left (fun acc l -> max acc labels.(l)) 0. cut
+      in
+      let pre =
+        List.stable_sort
+          (fun a b ->
+            match compare (depth_score a) (depth_score b) with
+            | 0 -> compare (List.length a) (List.length b)
+            | x -> x)
+          merged
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: r -> x :: take (k - 1) r
+      in
+      let shortlist = take (max cuts_per_node 12) pre in
+      let score cut =
+        match mode with
+        | Depth -> depth_score cut
+        | Ee_aware -> ee_expected_arrival gates i cut (fun l -> labels.(l))
+      in
+      let scored =
+        List.stable_sort
+          (fun (sa, a) (sb, b) ->
+            match compare sa sb with 0 -> compare (List.length a) (List.length b) | x -> x)
+          (List.map (fun cut -> (score cut, cut)) shortlist)
+      in
+      match scored with
+      | [] -> invalid_arg "Cutmap.run: node with no feasible cut"
+      | (s, cut) :: _ ->
+          labels.(i) <- s;
+          best_cut.(i) <- cut;
+          (* Parents may also treat this node as a leaf (trivial cut). *)
+          cut_lists.(i) <-
+            [ i ] :: take cuts_per_node (List.map snd scored)
+    end
+  done;
+  (* Emit the netlist from the interface roots. *)
+  let b = Netlist.builder () in
+  let input_ids = Hashtbl.create 64 in
+  List.iter
+    (fun (name, width) ->
+      for k = 0 to width - 1 do
+        Hashtbl.replace input_ids (name, k)
+          (Netlist.add_input b (Printf.sprintf "%s[%d]" name k))
+      done)
+    c.Gates.input_bits;
+  let reg_ids = Hashtbl.create 64 in
+  List.iter
+    (fun (name, width, init) ->
+      for k = 0 to width - 1 do
+        Hashtbl.replace reg_ids (name, k)
+          (Netlist.add_dff b ~init:((init lsr k) land 1 = 1))
+      done)
+    c.Gates.reg_bits;
+  let const_cache = Hashtbl.create 4 in
+  let node_of = Array.make n (-1) in
+  let rec emit i =
+    if node_of.(i) >= 0 then node_of.(i)
+    else begin
+      let id =
+        match gates.(i) with
+        | Gates.Gconst v -> (
+            match Hashtbl.find_opt const_cache v with
+            | Some id -> id
+            | None ->
+                let id = Netlist.add_const b v in
+                Hashtbl.replace const_cache v id;
+                id)
+        | Gates.Ginput (nm, k) -> Hashtbl.find input_ids (nm, k)
+        | Gates.Greg (nm, k) -> Hashtbl.find reg_ids (nm, k)
+        | _ ->
+            let cut = best_cut.(i) in
+            let func = cut_function gates i cut in
+            let fanin = Array.of_list (List.map emit cut) in
+            Netlist.add_lut b func fanin
+      in
+      node_of.(i) <- id;
+      id
+    end
+  in
+  List.iter
+    (fun (name, bits) ->
+      Array.iteri
+        (fun k g -> Netlist.connect_dff b (Hashtbl.find reg_ids (name, k)) ~d:(emit g))
+        bits)
+    c.Gates.reg_next;
+  List.iter
+    (fun (name, bits) ->
+      Array.iteri
+        (fun k g -> Netlist.set_output b (Printf.sprintf "%s[%d]" name k) (emit g))
+        bits)
+    c.Gates.out_bits;
+  Netlist.finalize b
+
+let run_rtl ?mode ?cuts_per_node d = run ?mode ?cuts_per_node (Elaborate.run d)

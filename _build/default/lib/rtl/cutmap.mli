@@ -1,0 +1,26 @@
+(** Priority-cuts LUT4 technology mapping, with an average-case mode.
+
+    {!Techmap} is an area-oriented greedy mapper (single-fanout cone
+    packing), the shape a generic synchronous flow produces.  This mapper
+    enumerates priority cuts per node and selects by one of two objectives:
+
+    - [`Depth] — classical worst-case objective: minimize the LUT level of
+      every node (what synchronous mappers optimize, per the paper's §1
+      observation);
+    - [`Ee_aware] — average-case objective: minimize the node's {e expected}
+      arrival time under early evaluation, scoring each candidate cut by
+      running the trigger search on its function and mixing the early and
+      guarded arrivals by the trigger's firing probability (uniform-input
+      model).  This realizes the average-case technology mapping the paper
+      points to (its reference [4]) inside the EE flow.
+
+    Both modes produce ordinary LUT4 netlists interchangeable with
+    {!Techmap.run}'s output; the [--mappers] bench compares the EE speedup
+    each mapping style admits. *)
+
+type mode = Depth | Ee_aware
+
+val run : ?mode:mode -> ?cuts_per_node:int -> Gates.circuit -> Ee_netlist.Netlist.t
+(** [cuts_per_node] bounds the priority list (default 8). *)
+
+val run_rtl : ?mode:mode -> ?cuts_per_node:int -> Rtl.design -> Ee_netlist.Netlist.t

@@ -1,0 +1,41 @@
+type db = {
+  name : string;
+  mutable inputs : (string * int) list; (* reversed *)
+  mutable regs : (string * int * int) list; (* reversed *)
+  mutable nexts : (string * Rtl.expr) list; (* reversed *)
+  mutable outputs : (string * Rtl.expr) list; (* reversed *)
+}
+
+let design name = { name; inputs = []; regs = []; nexts = []; outputs = [] }
+
+let input db name width =
+  if List.mem_assoc name db.inputs then invalid_arg ("Dsl.input: duplicate " ^ name);
+  db.inputs <- (name, width) :: db.inputs;
+  Rtl.Input name
+
+let reg db name ~width ~init =
+  if List.exists (fun (n, _, _) -> n = name) db.regs then
+    invalid_arg ("Dsl.reg: duplicate " ^ name);
+  db.regs <- (name, width, init) :: db.regs;
+  Rtl.Reg name
+
+let next db name e =
+  if List.mem_assoc name db.nexts then invalid_arg ("Dsl.next: duplicate " ^ name);
+  db.nexts <- (name, e) :: db.nexts
+
+let next_when db name ~enable e = next db name (Rtl.Mux (enable, Rtl.Reg name, e))
+
+let output db name e = db.outputs <- (name, e) :: db.outputs
+
+let finish db =
+  let d : Rtl.design =
+    {
+      name = db.name;
+      inputs = List.rev db.inputs;
+      regs = List.rev db.regs;
+      nexts = List.rev db.nexts;
+      outputs = List.rev db.outputs;
+    }
+  in
+  Rtl.validate d;
+  d

@@ -1,0 +1,29 @@
+(** Imperative builder for {!Rtl.design} values.
+
+    The benchmark circuits declare ports and registers against a builder
+    and read them back as expressions; [finish] assembles and validates the
+    design.  Purely a convenience layer — everything lowers to the plain
+    {!Rtl} record. *)
+
+type db
+
+val design : string -> db
+
+val input : db -> string -> int -> Rtl.expr
+(** Declare an input port and return the expression reading it. *)
+
+val reg : db -> string -> width:int -> init:int -> Rtl.expr
+(** Declare a register and return the expression reading it.  Its next
+    value must be set exactly once with {!next}. *)
+
+val next : db -> string -> Rtl.expr -> unit
+(** Set a register's next-state expression. *)
+
+val next_when : db -> string -> enable:Rtl.expr -> Rtl.expr -> unit
+(** [next_when db r ~enable e] — register keeps its value unless [enable]
+    is 1. *)
+
+val output : db -> string -> Rtl.expr -> unit
+
+val finish : db -> Rtl.design
+(** Validates (see {!Rtl.validate}) before returning. *)

@@ -1,0 +1,91 @@
+let run (d : Rtl.design) =
+  Rtl.validate d;
+  let b = Gates.builder () in
+  List.iter (fun (n, w) -> Gates.declare_input b n w) d.inputs;
+  List.iter (fun (n, w, init) -> Gates.declare_reg b n ~width:w ~init) d.regs;
+  let memo : (Rtl.expr, int array) Hashtbl.t = Hashtbl.create 256 in
+  (* Carry is lowered as the majority c(a+b) + ab on the raw operand bits
+     (the paper's full-adder form) rather than reusing the sum's a XOR b:
+     keeping generate/kill visible on early-arriving inputs is what makes
+     the carry chain a good early-evaluation citizen. *)
+  let full_adder a bb cin =
+    let s1 = Gates.gxor b a bb in
+    let sum = Gates.gxor b s1 cin in
+    let carry =
+      Gates.gor b (Gates.gand b a bb) (Gates.gand b cin (Gates.gor b a bb))
+    in
+    (sum, carry)
+  in
+  let rec bits (e : Rtl.expr) : int array =
+    match Hashtbl.find_opt memo e with
+    | Some v -> v
+    | None ->
+        let v = compute e in
+        Hashtbl.add memo e v;
+        v
+  and compute (e : Rtl.expr) : int array =
+    match e with
+    | Const (w, value) ->
+        Array.init w (fun i -> Gates.const b ((value lsr i) land 1 = 1))
+    | Input n ->
+        let w = List.assoc n d.inputs in
+        Array.init w (fun i -> Gates.input b n i)
+    | Reg n ->
+        let _, w, _ = List.find (fun (m, _, _) -> m = n) d.regs in
+        Array.init w (fun i -> Gates.reg b n i)
+    | Not a -> Array.map (Gates.gnot b) (bits a)
+    | And (a, c) -> Array.map2 (Gates.gand b) (bits a) (bits c)
+    | Or (a, c) -> Array.map2 (Gates.gor b) (bits a) (bits c)
+    | Xor (a, c) -> Array.map2 (Gates.gxor b) (bits a) (bits c)
+    | Add (a, c) ->
+        let xa = bits a and xc = bits c in
+        let w = Array.length xa in
+        let out = Array.make w 0 in
+        let carry = ref (Gates.const b false) in
+        for i = 0 to w - 1 do
+          let s, cy = full_adder xa.(i) xc.(i) !carry in
+          out.(i) <- s;
+          carry := cy
+        done;
+        out
+    | Sub (a, c) ->
+        (* a - c = a + ~c + 1 *)
+        let xa = bits a and xc = bits c in
+        let w = Array.length xa in
+        let out = Array.make w 0 in
+        let carry = ref (Gates.const b true) in
+        for i = 0 to w - 1 do
+          let s, cy = full_adder xa.(i) (Gates.gnot b xc.(i)) !carry in
+          out.(i) <- s;
+          carry := cy
+        done;
+        out
+    | Eq (a, c) ->
+        let xa = bits a and xc = bits c in
+        let per_bit = Array.map2 (fun x y -> Gates.gnot b (Gates.gxor b x y)) xa xc in
+        [| Array.fold_left (Gates.gand b) (Gates.const b true) per_bit |]
+    | Lt (a, c) ->
+        (* Unsigned a < c via the borrow-out of a - c. *)
+        let xa = bits a and xc = bits c in
+        let w = Array.length xa in
+        let carry = ref (Gates.const b true) in
+        for i = 0 to w - 1 do
+          let _, cy = full_adder xa.(i) (Gates.gnot b xc.(i)) !carry in
+          carry := cy
+        done;
+        [| Gates.gnot b !carry |]
+    | Mux (s, a, c) ->
+        let sel = (bits s).(0) in
+        Array.map2 (fun f0 f1 -> Gates.gmux b ~sel ~f0 ~f1) (bits a) (bits c)
+    | Concat (hi, lo) -> Array.append (bits lo) (bits hi)
+    | Slice (a, msb, lsb) -> Array.sub (bits a) lsb (msb - lsb + 1)
+    | Reduce_or a ->
+        [| Array.fold_left (Gates.gor b) (Gates.const b false) (bits a) |]
+    | Reduce_and a ->
+        [| Array.fold_left (Gates.gand b) (Gates.const b true) (bits a) |]
+    | Reduce_xor a ->
+        [| Array.fold_left (Gates.gxor b) (Gates.const b false) (bits a) |]
+  in
+  List.iter (fun (n, e) -> Gates.set_reg_next b n (bits e)) d.nexts;
+  List.iter (fun (n, e) -> Gates.set_output b n (bits e)) d.outputs;
+  Gates.finalize b

@@ -1,0 +1,10 @@
+(** Bit-blasting elaboration of RTL designs into the simple-gate IR.
+
+    Arithmetic lowers to ripple-carry structures (the LUT-oriented mapping a
+    synchronous FPGA flow produces), comparisons to borrow/equality chains,
+    muxes bitwise.  Structural hashing in {!Gates} deduplicates shared
+    logic. *)
+
+val run : Rtl.design -> Gates.circuit
+(** Validates the design first; raises [Invalid_argument] on ill-formed
+    input. *)

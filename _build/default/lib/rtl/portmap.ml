@@ -1,0 +1,57 @@
+module Netlist = Ee_netlist.Netlist
+
+type t = {
+  design : Rtl.design;
+  netlist : Netlist.t;
+  input_slots : (string * int) array; (* per netlist input: port name, bit *)
+  output_slots : (string * int) array;
+}
+
+let parse_bit_name s =
+  match String.rindex_opt s '[' with
+  | Some i when String.length s > i + 2 && s.[String.length s - 1] = ']' ->
+      let name = String.sub s 0 i in
+      let idx = String.sub s (i + 1) (String.length s - i - 2) in
+      (match int_of_string_opt idx with
+      | Some k -> (name, k)
+      | None -> invalid_arg ("Portmap: bad port name " ^ s))
+  | _ -> invalid_arg ("Portmap: bad port name " ^ s)
+
+let make design netlist =
+  let input_slots = Array.map (fun (nm, _) -> parse_bit_name nm) (Netlist.inputs netlist) in
+  let output_slots = Array.map (fun (nm, _) -> parse_bit_name nm) (Netlist.outputs netlist) in
+  Array.iter
+    (fun (name, k) ->
+      match List.assoc_opt name design.Rtl.inputs with
+      | Some w when k < w -> ()
+      | _ -> invalid_arg ("Portmap: netlist input does not match design: " ^ name))
+    input_slots;
+  { design; netlist; input_slots; output_slots }
+
+let encode_inputs t values =
+  Array.map
+    (fun (name, k) ->
+      match List.assoc_opt name values with
+      | Some v -> (v lsr k) land 1 = 1
+      | None -> false)
+    t.input_slots
+
+let decode_outputs t bits =
+  let acc = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (name, k) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt acc name) in
+      Hashtbl.replace acc name (if bits.(i) then cur lor (1 lsl k) else cur))
+    t.output_slots;
+  (* Report in the design's output declaration order. *)
+  List.filter_map
+    (fun (name, _) ->
+      Option.map (fun v -> (name, v)) (Hashtbl.find_opt acc name))
+    t.design.Rtl.outputs
+
+let random_inputs t rng =
+  List.map (fun (name, w) -> (name, Ee_util.Prng.bits rng w)) t.design.Rtl.inputs
+
+let step t st values =
+  let outs, st' = Netlist.step t.netlist st (encode_inputs t values) in
+  (decode_outputs t outs, st')

@@ -1,0 +1,24 @@
+(** Bridging multi-bit RTL ports and the per-bit netlist ports produced by
+    {!Techmap} (named [name[k]]).  Used by tests and the experiment harness
+    to drive mapped netlists with integer-valued stimuli and to compare
+    against the RTL golden model. *)
+
+type t
+
+val make : Rtl.design -> Ee_netlist.Netlist.t -> t
+(** Raises [Invalid_argument] if the netlist's ports do not correspond to
+    the design's ports. *)
+
+val encode_inputs : t -> (string * int) list -> bool array
+(** Build the netlist input vector from named integer values; unnamed inputs
+    default to 0. *)
+
+val decode_outputs : t -> bool array -> (string * int) list
+(** Reassemble named integer outputs from the netlist output vector. *)
+
+val random_inputs : t -> Ee_util.Prng.t -> (string * int) list
+(** Uniform random value for every input port. *)
+
+val step : t -> Ee_netlist.Netlist.state -> (string * int) list ->
+  (string * int) list * Ee_netlist.Netlist.state
+(** Integer-port wrapper around {!Ee_netlist.Netlist.step}. *)

@@ -1,0 +1,214 @@
+type expr =
+  | Const of int * int
+  | Input of string
+  | Reg of string
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Eq of expr * expr
+  | Lt of expr * expr
+  | Mux of expr * expr * expr
+  | Concat of expr * expr
+  | Slice of expr * int * int
+  | Reduce_or of expr
+  | Reduce_and of expr
+  | Reduce_xor of expr
+
+type design = {
+  name : string;
+  inputs : (string * int) list;
+  regs : (string * int * int) list;
+  nexts : (string * expr) list;
+  outputs : (string * expr) list;
+}
+
+let max_width = 30
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let input_width d name =
+  match List.assoc_opt name d.inputs with
+  | Some w -> w
+  | None -> fail "Rtl: unknown input %s in %s" name d.name
+
+let reg_width d name =
+  match List.find_opt (fun (n, _, _) -> n = name) d.regs with
+  | Some (_, w, _) -> w
+  | None -> fail "Rtl: unknown register %s in %s" name d.name
+
+let rec width d e =
+  let same a b =
+    let wa = width d a and wb = width d b in
+    if wa <> wb then fail "Rtl: width mismatch %d vs %d in %s" wa wb d.name;
+    wa
+  in
+  match e with
+  | Const (w, v) ->
+      if w < 1 || w > max_width then fail "Rtl: bad constant width %d" w;
+      if v < 0 || v lsr w <> 0 then fail "Rtl: constant %d does not fit width %d" v w;
+      w
+  | Input name -> input_width d name
+  | Reg name -> reg_width d name
+  | Not a -> width d a
+  | And (a, b) | Or (a, b) | Xor (a, b) | Add (a, b) | Sub (a, b) -> same a b
+  | Eq (a, b) | Lt (a, b) ->
+      ignore (same a b);
+      1
+  | Mux (s, a, b) ->
+      if width d s <> 1 then fail "Rtl: mux selector must be 1 bit";
+      same a b
+  | Concat (hi, lo) ->
+      let w = width d hi + width d lo in
+      if w > max_width then fail "Rtl: concat too wide (%d)" w;
+      w
+  | Slice (a, msb, lsb) ->
+      let w = width d a in
+      if lsb < 0 || msb < lsb || msb >= w then fail "Rtl: bad slice [%d:%d] of %d" msb lsb w;
+      msb - lsb + 1
+  | Reduce_or a | Reduce_and a | Reduce_xor a ->
+      ignore (width d a);
+      1
+
+let validate d =
+  List.iter (fun (n, w) -> if w < 1 || w > max_width then fail "Rtl: input %s width" n) d.inputs;
+  List.iter
+    (fun (n, w, init) ->
+      if w < 1 || w > max_width then fail "Rtl: register %s width" n;
+      if init < 0 || init lsr w <> 0 then fail "Rtl: reset value of %s does not fit" n)
+    d.regs;
+  List.iter
+    (fun (n, _, _) ->
+      match List.filter (fun (m, _) -> m = n) d.nexts with
+      | [ (_, e) ] ->
+          if width d e <> reg_width d n then fail "Rtl: next width mismatch for %s" n
+      | [] -> fail "Rtl: register %s has no next expression" n
+      | _ -> fail "Rtl: register %s has several next expressions" n)
+    d.regs;
+  List.iter
+    (fun (n, _e) ->
+      match List.find_opt (fun (m, _, _) -> m = n) d.regs with
+      | Some _ -> ()
+      | None -> fail "Rtl: next expression for unknown register %s" n)
+    d.nexts;
+  List.iter (fun (_, e) -> ignore (width d e)) d.outputs
+
+let zero w = Const (w, 0)
+
+let ones w = Const (w, (1 lsl w) - 1)
+
+let bit e i = Slice (e, i, i)
+
+let zext d e w =
+  let we = width d e in
+  if w < we then fail "Rtl.zext: target narrower than source";
+  if w = we then e else Concat (zero (w - we), e)
+
+let shl d e n =
+  let w = width d e in
+  if n = 0 then e
+  else if n >= w then zero w
+  else Concat (Slice (e, w - 1 - n, 0), zero n)
+
+let shr d e n =
+  let w = width d e in
+  if n = 0 then e
+  else if n >= w then zero w
+  else Concat (zero n, Slice (e, w - 1, n))
+
+let eq_const d e v = Eq (e, Const (width d e, v))
+
+let inc d e = Add (e, Const (width d e, 1))
+
+let select sel w cases =
+  let n = List.length cases in
+  if n = 0 then invalid_arg "Rtl.select: no cases";
+  (* Balanced mux tree over the selector bits. *)
+  let rec build bit lo hi =
+    if hi - lo = 1 then (match List.nth_opt cases lo with Some c -> c | None -> zero w)
+    else if lo >= n then zero w
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      let f0 = build (bit - 1) lo mid and f1 = build (bit - 1) mid hi in
+      Mux (Slice (sel, bit, bit), f0, f1)
+  in
+  let rec pow2 k = if k >= n then k else pow2 (k * 2) in
+  let span = pow2 1 in
+  let bits = Ee_util.Bits.log2_ceil span in
+  if span = 1 then List.nth cases 0 else build (bits - 1) 0 span
+
+type env = (string * int) list
+
+let initial_env d =
+  List.map (fun (n, _) -> (n, 0)) d.inputs @ List.map (fun (n, _, init) -> (n, init)) d.regs
+
+let env_with_inputs d env ins =
+  List.map
+    (fun (n, v) ->
+      match List.assoc_opt n ins with
+      | Some v' ->
+          let w = input_width d n in
+          if v' < 0 || v' lsr w <> 0 then fail "Rtl.step: input %s value does not fit" n;
+          (n, v')
+      | None -> (n, v))
+    env
+
+let mask w = (1 lsl w) - 1
+
+let rec eval d env e =
+  match e with
+  | Const (_, v) -> v
+  | Input n | Reg n -> (
+      match List.assoc_opt n env with
+      | Some v -> v
+      | None -> fail "Rtl.eval: unbound name %s" n)
+  | Not a -> lnot (eval d env a) land mask (width d a)
+  | And (a, b) -> eval d env a land eval d env b
+  | Or (a, b) -> eval d env a lor eval d env b
+  | Xor (a, b) -> eval d env a lxor eval d env b
+  | Add (a, b) -> (eval d env a + eval d env b) land mask (width d a)
+  | Sub (a, b) -> (eval d env a - eval d env b) land mask (width d a)
+  | Eq (a, b) -> if eval d env a = eval d env b then 1 else 0
+  | Lt (a, b) -> if eval d env a < eval d env b then 1 else 0
+  | Mux (s, a, b) -> if eval d env s = 0 then eval d env a else eval d env b
+  | Concat (hi, lo) ->
+      let wlo = width d lo in
+      (eval d env hi lsl wlo) lor eval d env lo
+  | Slice (a, msb, lsb) -> (eval d env a lsr lsb) land mask (msb - lsb + 1)
+  | Reduce_or a -> if eval d env a <> 0 then 1 else 0
+  | Reduce_and a -> if eval d env a = mask (width d a) then 1 else 0
+  | Reduce_xor a -> Ee_util.Bits.popcount (eval d env a) land 1
+
+let step d env ins =
+  let env = env_with_inputs d env ins in
+  let outs = List.map (fun (n, e) -> (n, eval d env e)) d.outputs in
+  let regs' = List.map (fun (n, e) -> (n, eval d env e)) d.nexts in
+  let env' =
+    List.map
+      (fun (n, v) -> match List.assoc_opt n regs' with Some v' -> (n, v') | None -> (n, v))
+      env
+  in
+  (outs, env')
+
+let rec pp_expr fmt e =
+  let open Format in
+  match e with
+  | Const (w, v) -> fprintf fmt "%d'd%d" w v
+  | Input n -> fprintf fmt "%s" n
+  | Reg n -> fprintf fmt "%s" n
+  | Not a -> fprintf fmt "~(%a)" pp_expr a
+  | And (a, b) -> fprintf fmt "(%a & %a)" pp_expr a pp_expr b
+  | Or (a, b) -> fprintf fmt "(%a | %a)" pp_expr a pp_expr b
+  | Xor (a, b) -> fprintf fmt "(%a ^ %a)" pp_expr a pp_expr b
+  | Add (a, b) -> fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> fprintf fmt "(%a == %a)" pp_expr a pp_expr b
+  | Lt (a, b) -> fprintf fmt "(%a < %a)" pp_expr a pp_expr b
+  | Mux (s, a, b) -> fprintf fmt "(%a ? %a : %a)" pp_expr s pp_expr b pp_expr a
+  | Concat (hi, lo) -> fprintf fmt "{%a, %a}" pp_expr hi pp_expr lo
+  | Slice (a, msb, lsb) -> fprintf fmt "%a[%d:%d]" pp_expr a msb lsb
+  | Reduce_or a -> fprintf fmt "|(%a)" pp_expr a
+  | Reduce_and a -> fprintf fmt "&(%a)" pp_expr a
+  | Reduce_xor a -> fprintf fmt "^(%a)" pp_expr a

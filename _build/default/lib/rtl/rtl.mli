@@ -1,0 +1,89 @@
+(** Register-transfer-level intermediate representation.
+
+    The ITC99-analogue benchmark circuits are written in this small IR (the
+    role VHDL RTL plays in the paper), then bit-blasted by {!Elaborate} and
+    LUT4-mapped by {!Techmap} — the role of Synopsys Design Compiler plus the
+    PL technology mapper of Reese and Traver.
+
+    All values are unsigned bit vectors of width 1–30 (bit 0 is the LSB).
+    Expressions are pure; registers update synchronously from their [next]
+    expressions each cycle. *)
+
+type expr =
+  | Const of int * int  (** [Const (width, value)]. *)
+  | Input of string
+  | Reg of string
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Eq of expr * expr  (** 1-bit result. *)
+  | Lt of expr * expr  (** Unsigned less-than, 1-bit result. *)
+  | Mux of expr * expr * expr  (** [Mux (sel, if0, if1)] with 1-bit [sel]. *)
+  | Concat of expr * expr  (** [Concat (hi, lo)]. *)
+  | Slice of expr * int * int  (** [Slice (e, msb, lsb)], inclusive. *)
+  | Reduce_or of expr  (** 1-bit OR of all bits. *)
+  | Reduce_and of expr
+  | Reduce_xor of expr
+
+type design = {
+  name : string;
+  inputs : (string * int) list;  (** name, width. *)
+  regs : (string * int * int) list;  (** name, width, reset value. *)
+  nexts : (string * expr) list;  (** next-state expression per register. *)
+  outputs : (string * expr) list;
+}
+
+val width : design -> expr -> int
+(** Inferred width.  Raises [Invalid_argument] on ill-formed expressions
+    (width mismatches, unknown names, bad slices). *)
+
+val validate : design -> unit
+(** Checks every output and next-state expression, that every register has
+    exactly one next expression, and that reset values fit. *)
+
+(** {1 Expression helpers} *)
+
+val zero : int -> expr
+
+val ones : int -> expr
+
+val bit : expr -> int -> expr
+(** Single-bit slice. *)
+
+val zext : design -> expr -> int -> expr
+(** Zero-extend to the given (not smaller) width. *)
+
+val shl : design -> expr -> int -> expr
+(** Logical shift left by a constant, width preserved. *)
+
+val shr : design -> expr -> int -> expr
+
+val eq_const : design -> expr -> int -> expr
+
+val inc : design -> expr -> expr
+(** Add 1, width preserved (wraps). *)
+
+val select : expr -> int -> expr list -> expr
+(** [select sel w cases] builds a mux tree returning [List.nth cases i] when
+    [sel = i]; missing cases default to zero.  [w] is the case width. *)
+
+(** {1 Interpretation (the RTL golden model)} *)
+
+type env
+(** Maps input and register names to integer values. *)
+
+val initial_env : design -> env
+(** Registers at reset values, inputs all zero. *)
+
+val env_with_inputs : design -> env -> (string * int) list -> env
+
+val eval : design -> env -> expr -> int
+
+val step : design -> env -> (string * int) list -> (string * int) list * env
+(** [step d env ins] applies the inputs, returns the outputs and the
+    environment after the clock edge. *)
+
+val pp_expr : Format.formatter -> expr -> unit

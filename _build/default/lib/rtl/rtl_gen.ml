@@ -1,0 +1,85 @@
+type profile = {
+  max_inputs : int;
+  max_regs : int;
+  max_depth : int;
+  max_width : int;
+  max_outputs : int;
+}
+
+let default_profile =
+  { max_inputs = 5; max_regs = 3; max_depth = 5; max_width = 8; max_outputs = 4 }
+
+let generate ?(profile = default_profile) seed =
+  let rng = Ee_util.Prng.create seed in
+  let n_inputs = 1 + Ee_util.Prng.int rng profile.max_inputs in
+  let n_regs = Ee_util.Prng.int rng (profile.max_regs + 1) in
+  let n_outputs = 1 + Ee_util.Prng.int rng profile.max_outputs in
+  let width () = 1 + Ee_util.Prng.int rng profile.max_width in
+  let inputs = List.init n_inputs (fun i -> (Printf.sprintf "in%d" i, width ())) in
+  let regs =
+    List.init n_regs (fun i ->
+        let w = width () in
+        (Printf.sprintf "reg%d" i, w, Ee_util.Prng.bits rng (min w 16)))
+  in
+  (* Pools of signals by width for leaf selection. *)
+  let leaves_of_width w =
+    List.filter_map (fun (n, w') -> if w' = w then Some (Rtl.Input n) else None) inputs
+    @ List.filter_map (fun (n, w', _) -> if w' = w then Some (Rtl.Reg n) else None) regs
+  in
+  (* Generate an expression of exactly [w] bits with depth budget [d]. *)
+  let rec gen w d : Rtl.expr =
+    let leaf () =
+      match leaves_of_width w with
+      | [] -> Rtl.Const (w, Ee_util.Prng.bits rng (min w 16))
+      | pool ->
+          if Ee_util.Prng.int rng 4 = 0 then Rtl.Const (w, Ee_util.Prng.bits rng (min w 16))
+          else List.nth pool (Ee_util.Prng.int rng (List.length pool))
+    in
+    if d = 0 then leaf ()
+    else
+      match Ee_util.Prng.int rng 13 with
+      | 0 -> leaf ()
+      | 1 -> Rtl.Not (gen w (d - 1))
+      | 2 -> Rtl.And (gen w (d - 1), gen w (d - 1))
+      | 3 -> Rtl.Or (gen w (d - 1), gen w (d - 1))
+      | 4 -> Rtl.Xor (gen w (d - 1), gen w (d - 1))
+      | 5 -> Rtl.Add (gen w (d - 1), gen w (d - 1))
+      | 6 -> Rtl.Sub (gen w (d - 1), gen w (d - 1))
+      | 7 ->
+          let s = gen 1 (d - 1) in
+          Rtl.Mux (s, gen w (d - 1), gen w (d - 1))
+      | 8 when w >= 2 ->
+          let wl = 1 + Ee_util.Prng.int rng (w - 1) in
+          Rtl.Concat (gen (w - wl) (d - 1), gen wl (d - 1))
+      | 9 ->
+          (* Slice out of a wider expression. *)
+          let extra = Ee_util.Prng.int rng 3 in
+          let inner_w = min (w + extra) profile.max_width in
+          if inner_w < w then gen w (d - 1)
+          else
+            let lsb = Ee_util.Prng.int rng (inner_w - w + 1) in
+            Rtl.Slice (gen inner_w (d - 1), lsb + w - 1, lsb)
+      | 10 when w = 1 ->
+          let wc = 1 + Ee_util.Prng.int rng profile.max_width in
+          Rtl.Eq (gen wc (d - 1), gen wc (d - 1))
+      | 11 when w = 1 ->
+          let wc = 1 + Ee_util.Prng.int rng profile.max_width in
+          Rtl.Lt (gen wc (d - 1), gen wc (d - 1))
+      | 12 when w = 1 ->
+          let wc = 1 + Ee_util.Prng.int rng profile.max_width in
+          (match Ee_util.Prng.int rng 3 with
+          | 0 -> Rtl.Reduce_or (gen wc (d - 1))
+          | 1 -> Rtl.Reduce_and (gen wc (d - 1))
+          | _ -> Rtl.Reduce_xor (gen wc (d - 1)))
+      | _ -> gen w (d - 1)
+  in
+  let nexts = List.map (fun (n, w, _) -> (n, gen w profile.max_depth)) regs in
+  let outputs =
+    List.init n_outputs (fun i ->
+        (Printf.sprintf "out%d" i, gen (width ()) profile.max_depth))
+  in
+  let d : Rtl.design =
+    { name = Printf.sprintf "gen%d" seed; inputs; regs; nexts; outputs }
+  in
+  Rtl.validate d;
+  d

@@ -1,0 +1,20 @@
+(** Random RTL design generation for property-based testing of the whole
+    synthesis flow.
+
+    Generated designs exercise every expression constructor with valid
+    widths, a few registers with feedback, and several outputs; they are
+    validated before being returned.  The generator is deterministic in its
+    seed, so failing cases can be replayed. *)
+
+type profile = {
+  max_inputs : int;
+  max_regs : int;
+  max_depth : int;  (** Expression tree depth. *)
+  max_width : int;  (** Bit-vector width bound (>= 1, <= 16 recommended). *)
+  max_outputs : int;
+}
+
+val default_profile : profile
+
+val generate : ?profile:profile -> int -> Rtl.design
+(** [generate seed] is a valid random design (name ["gen<seed>"]). *)

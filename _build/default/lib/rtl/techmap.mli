@@ -1,0 +1,15 @@
+(** LUT4 technology mapping: cover the simple-gate IR with 4-input LUTs.
+
+    A greedy cone-clustering mapper: every multiply-used or interface-driving
+    gate becomes a LUT root; single-fanout gates are absorbed into their
+    user's cone while the cone's leaf count stays within four.  This mirrors
+    the LUT4 packing a commercial FPGA mapper performs and produces the
+    netlists on which early evaluation is run.
+
+    Multi-bit RTL ports are exploded into per-bit netlist ports named
+    [name[k]] with [k] the bit index. *)
+
+val run : Gates.circuit -> Ee_netlist.Netlist.t
+
+val run_rtl : Rtl.design -> Ee_netlist.Netlist.t
+(** [Elaborate.run] followed by {!run}. *)

@@ -1,0 +1,1 @@
+lib/sim/delay_model.ml: Array Ee_phased Ee_util

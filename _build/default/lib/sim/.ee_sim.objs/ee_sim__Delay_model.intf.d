@@ -1,0 +1,1 @@
+lib/sim/delay_model.mli: Ee_phased

@@ -1,0 +1,1 @@
+lib/sim/ring.ml: Array Ee_logic Ee_netlist Ee_phased List Stream_sim

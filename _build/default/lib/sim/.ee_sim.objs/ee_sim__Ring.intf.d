@@ -1,0 +1,1 @@
+lib/sim/ring.mli: Ee_phased

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Ee_logic Ee_netlist Ee_phased Ee_util Hashtbl List

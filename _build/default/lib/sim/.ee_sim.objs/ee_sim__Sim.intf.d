@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Ee_netlist Ee_phased

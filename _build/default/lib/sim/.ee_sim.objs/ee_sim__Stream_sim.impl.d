@@ -1,0 +1,1 @@
+lib/sim/stream_sim.ml: Array Ee_logic Ee_phased Ee_util Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/sim/stream_sim.mli: Ee_phased

@@ -1,0 +1,17 @@
+module Pl = Ee_phased.Pl
+
+let uniform pl ~gate_delay = Array.make (Array.length (Pl.gates pl)) gate_delay
+
+let jittered pl ~gate_delay ~spread ~seed =
+  if spread < 0. || spread >= 1. then invalid_arg "Delay_model.jittered: spread in [0,1)";
+  let rng = Ee_util.Prng.create seed in
+  Array.map
+    (fun _ ->
+      let f = Ee_util.Prng.float rng 2. -. 1. in
+      gate_delay *. (1. +. (spread *. f)))
+    (Pl.gates pl)
+
+let fanin_loaded pl ~gate_delay ~per_input =
+  Array.map
+    (fun g -> gate_delay +. (per_input *. float_of_int (max 0 (Array.length g.Pl.fanin - 1))))
+    (Pl.gates pl)

@@ -1,0 +1,19 @@
+(** Per-gate delay assignments for the timed simulators.
+
+    The paper's cost function estimates arrivals in uniform PL-gate units;
+    real cells have spread (fanin loading, wire length, process variation).
+    These models assign each PL gate its own firing latency so the
+    [--jitter] bench can measure how robust the Equation-1 trigger choices
+    are when the unit-delay assumption breaks. *)
+
+val uniform : Ee_phased.Pl.t -> gate_delay:float -> float array
+(** Every gate the same latency (what {!Sim.apply} assumes). *)
+
+val jittered : Ee_phased.Pl.t -> gate_delay:float -> spread:float -> seed:int -> float array
+(** Latency drawn uniformly from
+    [gate_delay * (1 - spread) .. gate_delay * (1 + spread)] per gate,
+    deterministically from the seed.  [0 <= spread < 1]. *)
+
+val fanin_loaded : Ee_phased.Pl.t -> gate_delay:float -> per_input:float -> float array
+(** [gate_delay + per_input * (fanin count - 1)]: wider gates are slower,
+    the first-order loading model. *)

@@ -1,0 +1,49 @@
+module Netlist = Ee_netlist.Netlist
+module Pl = Ee_phased.Pl
+module Lut4 = Ee_logic.Lut4
+
+type t = {
+  pl : Pl.t;
+  stages : int;
+  tokens : int;
+  actual_stages : int;
+}
+
+let build ~stages ~tokens =
+  if tokens < 1 || tokens >= stages then
+    invalid_arg "Ring.build: need 1 <= tokens < stages";
+  (* Spread the registers (token positions) as evenly as possible. *)
+  let is_reg = Array.make stages false in
+  for k = 0 to tokens - 1 do
+    is_reg.(k * stages / tokens) <- true
+  done;
+  let b = Netlist.builder () in
+  let ids = Array.make stages (-1) in
+  (* Position 0 is always a register (k = 0 maps there), so every buffer's
+     fanin exists by the time it is created; registers close the loop via
+     connect-later. *)
+  assert (is_reg.(0));
+  let buffer fanin = Netlist.add_lut b (Lut4.var 0) [| fanin |] in
+  for i = 0 to stages - 1 do
+    if is_reg.(i) then ids.(i) <- Netlist.add_dff b ~init:(i land 1 = 0)
+    else ids.(i) <- buffer ids.(i - 1)
+  done;
+  (* Close the loop: every register's D input is its predecessor. *)
+  for i = 0 to stages - 1 do
+    if is_reg.(i) then
+      Netlist.connect_dff b ids.(i) ~d:ids.((i + stages - 1) mod stages)
+  done;
+  Netlist.set_output b "tap" ids.(0);
+  let nl = Netlist.finalize b in
+  let pl = Pl.of_netlist nl in
+  (* Effective stage count: Gate + Register PL gates (queue buffers between
+     adjacent registers included). *)
+  { pl; stages; tokens; actual_stages = Pl.pl_gate_count pl }
+
+let period ?(waves = 400) t =
+  let r = Stream_sim.run t.pl ~vectors:(List.init waves (fun _ -> [||])) in
+  r.Stream_sim.cycle_time
+
+let theoretical_period t =
+  let s = float_of_int t.actual_stages and tok = float_of_int t.tokens in
+  max 2. (max (s /. tok) (s /. (s -. tok)))

@@ -1,0 +1,36 @@
+(** Self-timed rings (the paper's references [9] Greenstreet et al. and
+    [22] Sutherland's micropipelines).
+
+    A ring of [stages] PL gates carrying [tokens] initial data tokens is
+    the canonical self-timed throughput structure: its steady-state period
+    is bounded by the forward latency of the tokens ([stages/tokens] gate
+    delays per token at any fixed point) and by the backward latency of
+    the holes ([stages/(stages-tokens)]), with the local handshake floor
+    of a two-gate loop.  Plotting throughput against occupancy gives the
+    classic "canopy" diagram, peaking near half occupancy.
+
+    The builder produces an ordinary synchronous netlist (registers at the
+    token positions, identity LUTs elsewhere) and maps it through
+    {!Ee_phased.Pl.of_netlist}, so it exercises exactly the same machinery as the
+    benchmark circuits; note that the mapping inserts a queue buffer
+    between adjacent registers, which physically grows such rings (the
+    [actual_stages] field reports the effective length). *)
+
+type t = {
+  pl : Ee_phased.Pl.t;
+  stages : int;  (** Requested stages. *)
+  tokens : int;
+  actual_stages : int;  (** After register-to-register queue insertion. *)
+}
+
+val build : stages:int -> tokens:int -> t
+(** [1 <= tokens < stages].  One sink taps the ring so the streaming
+    simulator can observe rotations. *)
+
+val period : ?waves:int -> t -> float
+(** Measured steady-state interval between tokens passing the tap, in gate
+    delays ({!Stream_sim} under the hood). *)
+
+val theoretical_period : t -> float
+(** [max 2. (max (s/t) (s/(s-t)))] over the effective stage count — the
+    canopy bound. *)

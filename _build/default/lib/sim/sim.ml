@@ -1,0 +1,192 @@
+module Pl = Ee_phased.Pl
+module Lut4 = Ee_logic.Lut4
+
+type config = { gate_delay : float; ee_overhead : float }
+
+let default_config = { gate_delay = 1.0; ee_overhead = 0.25 }
+
+type wave = {
+  outputs : bool array;
+  output_time : float;
+  settle_time : float;
+  early_fires : int;
+}
+
+type t = {
+  pl : Pl.t;
+  config : config;
+  delays : float array; (* per-gate firing latency *)
+  state : bool array; (* register values, indexed by gate id *)
+  source_pos : (int, int) Hashtbl.t; (* gate id -> vector index *)
+  values : bool array; (* scratch, per wave *)
+  times : float array; (* scratch, per wave *)
+}
+
+let create_with_delays ?(config = default_config) ~delays pl =
+  let n = Array.length (Pl.gates pl) in
+  if Array.length delays <> n then invalid_arg "Sim.create_with_delays: delay count";
+  let state = Array.make n false in
+  Array.iteri
+    (fun i g -> match g.Pl.kind with Pl.Register init -> state.(i) <- init | _ -> ())
+    (Pl.gates pl);
+  let source_pos = Hashtbl.create 16 in
+  Array.iteri (fun k id -> Hashtbl.replace source_pos id k) (Pl.source_ids pl);
+  {
+    pl;
+    config;
+    delays = Array.copy delays;
+    state;
+    source_pos;
+    values = Array.make n false;
+    times = Array.make n 0.;
+  }
+
+let create ?(config = default_config) pl =
+  create_with_delays ~config
+    ~delays:(Array.make (Array.length (Pl.gates pl)) config.gate_delay)
+    pl
+
+let reset t =
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with Pl.Register init -> t.state.(i) <- init | _ -> t.state.(i) <- false)
+    (Pl.gates t.pl)
+
+let eval_gate values func fanin =
+  let v = Array.make 4 false in
+  Array.iteri (fun k f -> v.(k) <- values.(f)) fanin;
+  Lut4.eval func v
+
+let apply t vector =
+  let gates = Pl.gates t.pl in
+  let cfg = t.config in
+  if Array.length vector <> Array.length (Pl.source_ids t.pl) then
+    invalid_arg "Sim.apply: wrong vector length";
+  let values = t.values and times = t.times in
+  let settle = ref 0. in
+  let early = ref 0 in
+  let fanin_arrival fanin =
+    Array.fold_left (fun acc f -> max acc times.(f)) 0. fanin
+  in
+  Array.iter
+    (fun i ->
+      let g = gates.(i) in
+      (match g.Pl.kind with
+      | Pl.Source _ ->
+          values.(i) <- vector.(Hashtbl.find t.source_pos i);
+          times.(i) <- 0.
+      | Pl.Const_source v ->
+          values.(i) <- v;
+          times.(i) <- 0.
+      | Pl.Register _ ->
+          values.(i) <- t.state.(i);
+          times.(i) <- 0.
+      | Pl.Trigger { func; _ } ->
+          values.(i) <- eval_gate values func g.Pl.fanin;
+          times.(i) <- fanin_arrival g.Pl.fanin +. t.delays.(i);
+          settle := max !settle times.(i)
+      | Pl.Gate func ->
+          values.(i) <- eval_gate values func g.Pl.fanin;
+          let normal = fanin_arrival g.Pl.fanin +. t.delays.(i) in
+          (match Pl.ee t.pl i with
+          | None ->
+              times.(i) <- normal;
+              settle := max !settle normal
+          | Some e ->
+              let trig_time = times.(e.Pl.trigger) in
+              let guarded = max normal (trig_time +. t.delays.(i)) +. cfg.ee_overhead in
+              let fire_time =
+                if values.(e.Pl.trigger) then begin
+                  let early_time = trig_time +. cfg.ee_overhead in
+                  if early_time < guarded then incr early;
+                  min guarded early_time
+                end
+                else guarded
+              in
+              times.(i) <- fire_time;
+              (* The master's late input tokens must still be absorbed before
+                 the wave is over, even when the output fired early. *)
+              settle := max !settle (max fire_time (fanin_arrival g.Pl.fanin)))
+      | Pl.Sink _ ->
+          values.(i) <- values.(g.Pl.fanin.(0));
+          times.(i) <- times.(g.Pl.fanin.(0));
+          settle := max !settle times.(i)))
+    (Pl.topo t.pl);
+  (* Registers fire on their D arrival, producing the next wave's token. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Register _ ->
+          let d = g.Pl.fanin.(0) in
+          settle := max !settle (times.(d) +. t.delays.(i))
+      | _ -> ())
+    gates;
+  let sink_ids = Pl.sink_ids t.pl in
+  let outputs = Array.map (fun s -> values.(s)) sink_ids in
+  let output_time = Array.fold_left (fun acc s -> max acc times.(s)) 0. sink_ids in
+  (* Commit register state after all reads. *)
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with Pl.Register _ -> t.state.(i) <- values.(g.Pl.fanin.(0)) | _ -> ())
+    gates;
+  { outputs; output_time; settle_time = !settle; early_fires = !early }
+
+let probe t = (Array.copy t.values, Array.copy t.times)
+
+type run = {
+  waves : int;
+  avg_output_time : float;
+  avg_settle_time : float;
+  output_times : float array;
+  settle_times : float array;
+  early_fire_rate : float;
+}
+
+let run_vectors ?(config = default_config) pl vectors =
+  let t = create ~config pl in
+  let waves = List.length vectors in
+  if waves = 0 then invalid_arg "Sim.run_vectors: no vectors";
+  let output_times = Array.make waves 0. in
+  let settle_times = Array.make waves 0. in
+  let ee_total = Pl.ee_gate_count pl in
+  let early_sum = ref 0 in
+  List.iteri
+    (fun k vec ->
+      let w = apply t vec in
+      output_times.(k) <- w.output_time;
+      settle_times.(k) <- w.settle_time;
+      early_sum := !early_sum + w.early_fires)
+    vectors;
+  {
+    waves;
+    avg_output_time = Ee_util.Stats.mean output_times;
+    avg_settle_time = Ee_util.Stats.mean settle_times;
+    output_times;
+    settle_times;
+    early_fire_rate =
+      (if ee_total = 0 then 0.
+       else float_of_int !early_sum /. float_of_int (ee_total * waves));
+  }
+
+let run_random ?(config = default_config) pl ~vectors ~seed =
+  let rng = Ee_util.Prng.create seed in
+  let width = Array.length (Pl.source_ids pl) in
+  let vecs = List.init vectors (fun _ -> Ee_util.Prng.bool_vector rng width) in
+  run_vectors ~config pl vecs
+
+let equiv_random pl nl ~vectors ~seed =
+  let rng = Ee_util.Prng.create seed in
+  let t = create pl in
+  let st = ref (Ee_netlist.Netlist.initial_state nl) in
+  let width = Array.length (Pl.source_ids pl) in
+  let ok = ref true in
+  for _ = 1 to vectors do
+    if !ok then begin
+      let vec = Ee_util.Prng.bool_vector rng width in
+      let w = apply t vec in
+      let outs, st' = Ee_netlist.Netlist.step nl !st vec in
+      st := st';
+      if w.outputs <> outs then ok := false
+    end
+  done;
+  !ok

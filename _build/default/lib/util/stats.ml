@@ -1,0 +1,41 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let summarize a =
+  let n = Array.length a in
+  assert (n > 0);
+  let m = mean a in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. a /. float_of_int n in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let median =
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+  in
+  {
+    n;
+    mean = m;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median;
+  }
+
+let percent_change ~before ~after =
+  if before = 0. then 0. else (before -. after) /. before *. 100.
+
+let ratio_percent ~part ~whole = if whole = 0. then 0. else part /. whole *. 100.
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n s.mean s.stddev
+    s.min s.median s.max

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Descriptive summary of a non-empty sample. *)
+
+val mean : float array -> float
+
+val percent_change : before:float -> after:float -> float
+(** [(before - after) / before * 100.], i.e. positive means a decrease. *)
+
+val ratio_percent : part:float -> whole:float -> float
+(** [part / whole * 100.]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

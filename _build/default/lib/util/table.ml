@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create_aligned ~headers =
+  { headers = List.map fst headers; aligns = List.map snd headers; rows = [] }
+
+let create ~headers =
+  let aligns = List.mapi (fun i _ -> if i = 0 then Left else Right) headers in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let feed cells = List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) cells in
+  feed t.headers;
+  List.iter (function Cells c -> feed c | Separator -> ()) t.rows;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iteri
+      (fun i width ->
+        Buffer.add_string buf (if i = 0 then "+-" else "-+-");
+        Buffer.add_string buf (String.make width '-'))
+      w;
+    Buffer.add_string buf "-+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (if i = 0 then "| " else " | ");
+        Buffer.add_string buf (pad (List.nth t.aligns i) w.(i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter (function Cells c -> line c | Separator -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)

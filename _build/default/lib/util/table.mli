@@ -1,0 +1,27 @@
+(** Plain-text table rendering used by the benchmark harness to print the
+    paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A fresh table with the given column headers.  Columns are right-aligned
+    except the first, matching the paper's layout. *)
+
+val create_aligned : headers:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have as many cells as there are headers. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows). *)
+
+val render : t -> string
+(** Render with box-drawing rules and padded columns. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (headers first, separators skipped). *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)

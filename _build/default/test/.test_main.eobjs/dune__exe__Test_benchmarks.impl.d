@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Ee_bench_circuits Ee_netlist Ee_rtl List Printf Rtl Techmap

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Ee_util Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Ee_bench_circuits Ee_core Ee_markedgraph Ee_phased Ee_rtl Ee_sim List

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Ee_logic Ee_phased Ee_util Printf

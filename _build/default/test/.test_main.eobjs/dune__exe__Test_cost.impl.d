@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Ee_core

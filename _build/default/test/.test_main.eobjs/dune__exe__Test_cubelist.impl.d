@@ -1,0 +1,1 @@
+test/test_cubelist.ml: Alcotest Ee_logic Ee_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Ee_bench_circuits Ee_export Ee_logic Ee_netlist Ee_rtl List

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Astring_contains Ee_bench_circuits Ee_core Ee_export Ee_netlist Ee_phased Ee_rtl Ee_util List String

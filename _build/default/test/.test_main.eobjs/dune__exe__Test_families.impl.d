@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Ee_bench_circuits Ee_core Ee_phased Ee_rtl Ee_sim Ee_util List Printf Rtl Techmap

@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest Ee_bench_circuits Ee_logic Ee_markedgraph Ee_netlist Ee_phased Ee_rtl Ee_util List

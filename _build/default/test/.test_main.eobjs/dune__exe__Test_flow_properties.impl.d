@@ -1,0 +1,1 @@
+test/test_flow_properties.ml: Array Ee_core Ee_export Ee_markedgraph Ee_netlist Ee_phased Ee_rtl Ee_sim Ee_util List Portmap QCheck QCheck_alcotest Rtl Rtl_gen Techmap

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Ee_rtl

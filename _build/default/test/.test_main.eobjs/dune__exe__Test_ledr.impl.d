@@ -1,0 +1,1 @@
+test/test_ledr.ml: Alcotest Ee_phased List

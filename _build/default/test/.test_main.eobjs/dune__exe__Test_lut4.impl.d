@@ -1,0 +1,1 @@
+test/test_lut4.ml: Alcotest Ee_logic Ee_util Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_markedgraph.ml: Alcotest Array Astring_contains Ee_bench_circuits Ee_markedgraph Ee_phased Ee_rtl Ee_util

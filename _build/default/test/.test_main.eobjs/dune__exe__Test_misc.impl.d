@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Astring_contains Ee_bench_circuits Ee_export Ee_logic Ee_markedgraph Ee_netlist Ee_phased Ee_report Ee_rtl Ee_sim Ee_util Format List

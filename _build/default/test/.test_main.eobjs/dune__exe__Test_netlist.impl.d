@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Astring_contains Ee_logic Ee_netlist Fun List

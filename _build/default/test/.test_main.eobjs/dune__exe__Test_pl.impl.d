@@ -1,0 +1,1 @@
+test/test_pl.ml: Alcotest Array Astring_contains Ee_core Ee_logic Ee_markedgraph Ee_netlist Ee_phased Fun List

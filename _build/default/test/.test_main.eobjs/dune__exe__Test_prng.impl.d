@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ee_util Fun List

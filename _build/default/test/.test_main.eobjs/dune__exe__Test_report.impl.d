@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Ee_bench_circuits Ee_core Ee_phased Ee_report Ee_util List String

@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Ee_markedgraph Ee_phased Ee_sim List Printf

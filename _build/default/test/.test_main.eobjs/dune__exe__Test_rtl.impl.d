@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Dsl Ee_rtl List Printf Rtl

@@ -1,0 +1,1 @@
+test/test_rtlkit.ml: Alcotest Array Ee_bench_circuits Ee_rtl Ee_util Hashtbl List Printf Rtl

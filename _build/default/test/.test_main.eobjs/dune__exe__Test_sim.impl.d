@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ee_core Ee_logic Ee_netlist Ee_phased Ee_sim Ee_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stream_sim.ml: Alcotest Array Ee_bench_circuits Ee_core Ee_logic Ee_netlist Ee_phased Ee_rtl Ee_sim Ee_util List

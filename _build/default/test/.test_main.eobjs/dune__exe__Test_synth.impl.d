@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Ee_bench_circuits Ee_core Ee_logic Ee_markedgraph Ee_netlist Ee_phased Ee_report Ee_rtl Ee_sim List Printf

@@ -1,0 +1,1 @@
+test/test_synthesis_flow.ml: Alcotest Array Ee_bench_circuits Ee_logic Ee_netlist Ee_rtl Ee_util List Portmap Rtl Techmap

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Astring_contains Ee_util List String

@@ -1,0 +1,1 @@
+test/test_trigger.ml: Alcotest Ee_core Ee_logic Ee_util Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trigger_wide.ml: Alcotest Ee_core Ee_logic Ee_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_truthtab.ml: Alcotest Ee_logic Ee_util Fun List QCheck QCheck_alcotest

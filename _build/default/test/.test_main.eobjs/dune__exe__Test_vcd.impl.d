@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Astring_contains Ee_bench_circuits Ee_core Ee_export Ee_phased Ee_rtl List String

@@ -1,0 +1,93 @@
+module Analysis = Ee_core.Analysis
+module Pl = Ee_phased.Pl
+module Netlist = Ee_netlist.Netlist
+module Lut4 = Ee_logic.Lut4
+
+let build id =
+  let b = Ee_bench_circuits.Itc99.find id in
+  let nl = Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()) in
+  let pl = Pl.of_netlist nl in
+  let pl_ee, _ = Ee_core.Synth.run pl in
+  (pl, pl_ee)
+
+let test_probabilities_exact_on_single_gates () =
+  (* AND of two uniform inputs: P = 0.25; XOR: 0.5; OR: 0.75. *)
+  let check func expected =
+    let b = Netlist.builder () in
+    let x = Netlist.add_input b "x" in
+    let y = Netlist.add_input b "y" in
+    let g = Netlist.add_lut b func [| x; y |] in
+    Netlist.set_output b "z" g;
+    let pl = Pl.of_netlist (Netlist.finalize b) in
+    let p = Analysis.predict pl in
+    Alcotest.(check (float 1e-9)) "probability" expected
+      p.Analysis.per_gate.(g).Analysis.prob_one
+  in
+  check (Lut4.logand (Lut4.var 0) (Lut4.var 1)) 0.25;
+  check (Lut4.logxor (Lut4.var 0) (Lut4.var 1)) 0.5;
+  check (Lut4.logor (Lut4.var 0) (Lut4.var 1)) 0.75
+
+let test_no_ee_prediction_is_exact () =
+  (* Without EE the expected settle is the deterministic critical path and
+     must equal the simulated value exactly. *)
+  List.iter
+    (fun id ->
+      let pl, _ = build id in
+      let predicted = (Analysis.predict pl).Analysis.predicted_settle in
+      let simulated = (Ee_sim.Sim.run_random pl ~vectors:20 ~seed:3).Ee_sim.Sim.avg_settle_time in
+      Alcotest.(check (float 1e-9)) (id ^ " exact") simulated predicted)
+    [ "b01"; "b05"; "b09" ]
+
+let test_ee_prediction_tracks_simulation () =
+  (* With EE the model is approximate; it must land within a reasonable
+     band of the simulated average and get the direction right. *)
+  List.iter
+    (fun id ->
+      let pl, pl_ee = build id in
+      let predicted = (Analysis.predict pl_ee).Analysis.predicted_settle in
+      let simulated =
+        (Ee_sim.Sim.run_random pl_ee ~vectors:200 ~seed:5).Ee_sim.Sim.avg_settle_time
+      in
+      let base = (Analysis.predict pl).Analysis.predicted_settle in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: predicted %.2f vs simulated %.2f" id predicted simulated)
+        true
+        (predicted < base +. 1e-9 && abs_float (predicted -. simulated) /. simulated < 0.5))
+    [ "b04"; "b09"; "b12" ]
+
+let test_trigger_rates_match_observed () =
+  (* Predicted trigger probabilities should track the observed early-fire
+     rate (both ~ coverage for uniform inputs). *)
+  let _, pl_ee = build "b09" in
+  let p = Analysis.predict pl_ee in
+  let mean_rate =
+    let rates = List.map snd p.Analysis.trigger_rates in
+    List.fold_left ( +. ) 0. rates /. float_of_int (List.length rates)
+  in
+  let observed =
+    (Ee_sim.Sim.run_random pl_ee ~vectors:300 ~seed:9).Ee_sim.Sim.early_fire_rate
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean predicted %.2f vs observed %.2f" mean_rate observed)
+    true
+    (abs_float (mean_rate -. observed) < 0.25)
+
+let test_predicted_speedup_sign () =
+  List.iter
+    (fun id ->
+      let pl, pl_ee = build id in
+      Alcotest.(check bool) (id ^ " predicts a gain") true
+        (Analysis.predicted_speedup pl pl_ee > 0.))
+    [ "b04"; "b05"; "b12" ]
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "exact single-gate probabilities" `Quick
+        test_probabilities_exact_on_single_gates;
+      Alcotest.test_case "no-EE prediction exact" `Quick test_no_ee_prediction_is_exact;
+      Alcotest.test_case "EE prediction tracks simulation" `Quick
+        test_ee_prediction_tracks_simulation;
+      Alcotest.test_case "trigger rates" `Quick test_trigger_rates_match_observed;
+      Alcotest.test_case "predicted speedup sign" `Quick test_predicted_speedup_sign;
+    ] )

@@ -1,0 +1,223 @@
+module Itc99 = Ee_bench_circuits.Itc99
+open Ee_rtl
+
+let test_fifteen_unique () =
+  Alcotest.(check int) "fifteen circuits" 15 (List.length Itc99.all);
+  let ids = List.map (fun b -> b.Itc99.id) Itc99.all in
+  Alcotest.(check int) "unique ids" 15 (List.length (List.sort_uniq compare ids));
+  List.iteri
+    (fun i b ->
+      Alcotest.(check string) "ids in Table 3 order"
+        (Printf.sprintf "b%02d" (i + 1))
+        b.Itc99.id)
+    Itc99.all
+
+let test_all_validate () =
+  List.iter
+    (fun b ->
+      let d = b.Itc99.build () in
+      Rtl.validate d;
+      Alcotest.(check string) "design name matches id" b.Itc99.id d.Rtl.name)
+    Itc99.all
+
+let test_find () =
+  Alcotest.(check string) "find b07" "Count points on a straight line"
+    (Itc99.find "b07").Itc99.description;
+  match Itc99.find "b99" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_relative_sizes () =
+  (* The paper's size ordering must be respected qualitatively: the tiny
+     FSMs are tiny, the processors dominate. *)
+  let luts id =
+    Ee_netlist.Netlist.lut_count (Techmap.run_rtl ((Itc99.find id).Itc99.build ()))
+  in
+  Alcotest.(check bool) "b02 is the smallest kind" true (luts "b02" < 10);
+  Alcotest.(check bool) "b06 small" true (luts "b06" < 20);
+  Alcotest.(check bool) "b12 > b01" true (luts "b12" > luts "b01");
+  Alcotest.(check bool) "b14 biggest but b15" true (luts "b14" > luts "b12");
+  Alcotest.(check bool) "b15 biggest" true (luts "b15" > luts "b14")
+
+let test_b01_compares_flows () =
+  let d = Itc99.b01 () in
+  (* Identical streams keep the diff counter at zero. *)
+  let env = ref (Rtl.initial_env d) in
+  for _ = 1 to 10 do
+    let _, env' = Rtl.step d !env [ ("line1", 1); ("line2", 1); ("restart", 0) ] in
+    env := env'
+  done;
+  let outs, _ = Rtl.step d !env [ ("line1", 1); ("line2", 1); ("restart", 0) ] in
+  Alcotest.(check int) "no overflow on equal flows" 0 (List.assoc "overflw" outs);
+  (* Mismatching streams eventually saturate the counter. *)
+  let env = ref (Rtl.initial_env d) in
+  for _ = 1 to 20 do
+    let _, env' = Rtl.step d !env [ ("line1", 1); ("line2", 0); ("restart", 0) ] in
+    env := env'
+  done;
+  let outs, _ = Rtl.step d !env [ ("line1", 1); ("line2", 0); ("restart", 0) ] in
+  Alcotest.(check int) "mismatch saturates" 1 (List.assoc "overflw" outs)
+
+let test_b02_recognizes_bcd () =
+  let d = Itc99.b02 () in
+  (* Stream in 1001 (9, valid BCD) MSB first, then sample u at phase 0. *)
+  let env = ref (Rtl.initial_env d) in
+  let feed bit =
+    let outs, env' = Rtl.step d !env [ ("linea", bit) ] in
+    env := env';
+    outs
+  in
+  ignore (feed 1);
+  ignore (feed 0);
+  ignore (feed 0);
+  ignore (feed 1);
+  let outs = feed 0 in
+  Alcotest.(check int) "9 is BCD" 1 (List.assoc "u" outs);
+  (* Stream in 1111 (15, not BCD). *)
+  let env2 = ref (Rtl.initial_env d) in
+  let feed2 bit =
+    let outs, env' = Rtl.step d !env2 [ ("linea", bit) ] in
+    env2 := env';
+    outs
+  in
+  ignore (feed2 1);
+  ignore (feed2 1);
+  ignore (feed2 1);
+  ignore (feed2 1);
+  let outs = feed2 0 in
+  Alcotest.(check int) "15 is not BCD" 0 (List.assoc "u" outs)
+
+let test_b04_min_max () =
+  let d = Itc99.b04 () in
+  let env = ref (Rtl.initial_env d) in
+  let feed v =
+    let outs, env' = Rtl.step d !env [ ("data_in", v); ("restart", 0); ("enable", 1) ] in
+    env := env';
+    outs
+  in
+  ignore (feed 100);
+  ignore (feed 7);
+  ignore (feed 3000);
+  let outs = feed 500 in
+  Alcotest.(check int) "min" 7 (List.assoc "min" outs);
+  Alcotest.(check int) "max" 3000 (List.assoc "max" outs);
+  Alcotest.(check int) "spread" 2993 (List.assoc "spread" outs)
+
+let test_b10_voting () =
+  let d = Itc99.b10 () in
+  let step votes quorum =
+    let outs, _ =
+      Rtl.step d (Rtl.initial_env d) [ ("votes", votes); ("quorum", quorum); ("close", 0) ]
+    in
+    outs
+  in
+  Alcotest.(check int) "tally of 0b10110101" 5 (List.assoc "tally" (step 0b10110101 3));
+  Alcotest.(check int) "passes quorum" 1 (List.assoc "passed" (step 0b10110101 5));
+  Alcotest.(check int) "fails quorum" 0 (List.assoc "passed" (step 0b10110101 6));
+  Alcotest.(check int) "unanimous" 1 (List.assoc "unanimous" (step 0xFF 1))
+
+let test_b11_scrambles () =
+  let d = Itc99.b11 () in
+  (* The cipher must be non-trivial: different inputs give different
+     outputs, and the key evolves the stream. *)
+  let out1, env1 =
+    Rtl.step d (Rtl.initial_env d) [ ("char_in", 0x41); ("load_key", 1); ("key_in", 0) ]
+  in
+  let out2, _ = Rtl.step d env1 [ ("char_in", 0x41); ("load_key", 1); ("key_in", 0) ] in
+  Alcotest.(check bool) "scrambled differs from input" true
+    (List.assoc "char_out" out1 <> 0x41);
+  Alcotest.(check bool) "stream cipher evolves" true
+    (List.assoc "char_out" out1 <> List.assoc "char_out" out2)
+
+let test_b14_processor_alu () =
+  let d = Itc99.b14 () in
+  (* Load 5 into acc via data_in (opcode 14 = load), then add immediate 3
+     (opcode 0, immediate mode). *)
+  let env = ref (Rtl.initial_env d) in
+  let instr_load = 14 lsl 12 in
+  let _, env' = Rtl.step d !env [ ("instr", instr_load); ("data_in", 5); ("irq", 0) ] in
+  env := env';
+  let instr_addi = (0 lsl 12) lor (1 lsl 8) lor 3 in
+  let _, env'' = Rtl.step d !env [ ("instr", instr_addi); ("data_in", 0); ("irq", 0) ] in
+  env := env'';
+  let outs, _ = Rtl.step d !env [ ("instr", instr_load); ("data_in", 0); ("irq", 0) ] in
+  Alcotest.(check int) "acc = 5 + 3" 8 (List.assoc "acc_out" outs)
+
+let test_b14_store_and_operand () =
+  let d = Itc99.b14 () in
+  let env = ref (Rtl.initial_env d) in
+  let step instr data =
+    let outs, env' = Rtl.step d !env [ ("instr", instr); ("data_in", data); ("irq", 0) ] in
+    env := env';
+    outs
+  in
+  (* load 9; store into r2; load 4; add r2 -> acc = 13. *)
+  ignore (step (14 lsl 12) 9);
+  ignore (step ((13 lsl 12) lor (2 lsl 9)) 0);
+  ignore (step (14 lsl 12) 4);
+  ignore (step ((0 lsl 12) lor (2 lsl 9)) 0);
+  let outs = step ((13 lsl 12) lor (2 lsl 9)) 0 in
+  Alcotest.(check int) "acc = 4 + r2" 13 (List.assoc "acc_out" outs);
+  Alcotest.(check int) "store flag" 1 (List.assoc "store" outs)
+
+let test_b14_mul_matches_shift_add () =
+  (* The multiplier accumulates acc << k for each low operand bit. *)
+  let d = Itc99.b14 () in
+  let env = ref (Rtl.initial_env d) in
+  let step instr data =
+    let outs, env' = Rtl.step d !env [ ("instr", instr); ("data_in", data); ("irq", 0) ] in
+    env := env';
+    outs
+  in
+  ignore (step (14 lsl 12) 7);
+  ignore (step ((13 lsl 12) lor (3 lsl 9)) 0);
+  ignore (step (14 lsl 12) 5);
+  ignore (step ((12 lsl 12) lor (3 lsl 9)) 0);
+  let outs = step (15 lsl 12) 0 in
+  Alcotest.(check int) "5 * 7" 35 (List.assoc "acc_out" outs)
+
+let test_b14_pc_increments () =
+  let d = Itc99.b14 () in
+  let env = ref (Rtl.initial_env d) in
+  let step instr =
+    let outs, env' = Rtl.step d !env [ ("instr", instr); ("data_in", 0); ("irq", 0) ] in
+    env := env';
+    outs
+  in
+  ignore (step 0);
+  let pc1 = List.assoc "pc_out" (step 0) in
+  let pc2 = List.assoc "pc_out" (step 0) in
+  Alcotest.(check int) "pc increments" (pc1 + 1) pc2
+
+let test_processor_pc_advances () =
+  let d = Itc99.b15 () in
+  let env = ref (Rtl.initial_env d) in
+  let pc0 =
+    let outs, env' = Rtl.step d !env [ ("instr", 0); ("data_in", 0); ("irq", 0) ] in
+    env := env';
+    List.assoc "pc_out" outs
+  in
+  let pc1 =
+    let outs, _ = Rtl.step d !env [ ("instr", 0); ("data_in", 0); ("irq", 0) ] in
+    List.assoc "pc_out" outs
+  in
+  Alcotest.(check bool) "pc changes" true (pc0 <> pc1)
+
+let suite =
+  ( "benchmarks",
+    [
+      Alcotest.test_case "fifteen unique" `Quick test_fifteen_unique;
+      Alcotest.test_case "all validate" `Quick test_all_validate;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "relative sizes" `Quick test_relative_sizes;
+      Alcotest.test_case "b01 compares flows" `Quick test_b01_compares_flows;
+      Alcotest.test_case "b02 recognizes BCD" `Quick test_b02_recognizes_bcd;
+      Alcotest.test_case "b04 min/max" `Quick test_b04_min_max;
+      Alcotest.test_case "b10 voting" `Quick test_b10_voting;
+      Alcotest.test_case "b11 scrambles" `Quick test_b11_scrambles;
+      Alcotest.test_case "b14 processor alu" `Quick test_b14_processor_alu;
+      Alcotest.test_case "processor pc advances" `Quick test_processor_pc_advances;
+      Alcotest.test_case "b14 store/operand" `Quick test_b14_store_and_operand;
+      Alcotest.test_case "b14 multiplier" `Quick test_b14_mul_matches_shift_add;
+      Alcotest.test_case "b14 pc increments" `Quick test_b14_pc_increments;
+    ] )

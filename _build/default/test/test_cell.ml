@@ -1,0 +1,114 @@
+module Cell = Ee_phased.Cell
+module Ledr = Ee_phased.Ledr
+module Lut4 = Ee_logic.Lut4
+
+let and2 = Lut4.logand (Lut4.var 0) (Lut4.var 1)
+
+let test_reset_state () =
+  let c = Cell.create and2 ~arity:2 in
+  Alcotest.(check bool) "even phase" true (Cell.gate_phase c = Ledr.Even);
+  Alcotest.(check int) "stable at reset" 0 (Cell.settle c);
+  Alcotest.(check bool) "no pending fire" false (Cell.fires_pending c)
+
+let drive c values phase =
+  Array.iteri (fun k v -> Cell.set_input c k (Ledr.encode ~value:v ~phase)) (Array.of_list values)
+
+let test_fires_once_per_wave () =
+  let c = Cell.create and2 ~arity:2 in
+  (* Wave 1: both inputs arrive with odd phase. *)
+  drive c [ true; true ] Ledr.Odd;
+  Alcotest.(check bool) "pending" true (Cell.fires_pending c);
+  let rounds = Cell.settle c in
+  Alcotest.(check int) "fires exactly once" 1 rounds;
+  Alcotest.(check bool) "output value" true (Ledr.value (Cell.output c));
+  Alcotest.(check bool) "output phase odd" true (Ledr.phase (Cell.output c) = Ledr.Odd);
+  Alcotest.(check bool) "gate phase toggled" true (Cell.gate_phase c = Ledr.Odd);
+  (* Re-settling does nothing until a new wave arrives. *)
+  Alcotest.(check int) "stable" 0 (Cell.settle c)
+
+let test_waits_for_all_inputs () =
+  let c = Cell.create and2 ~arity:2 in
+  Cell.set_input c 0 (Ledr.encode ~value:true ~phase:Ledr.Odd);
+  (* Input 1 still carries the even-phase reset token. *)
+  Alcotest.(check bool) "not pending" false (Cell.fires_pending c);
+  Alcotest.(check int) "no firing" 0 (Cell.settle c);
+  Cell.set_input c 1 (Ledr.encode ~value:false ~phase:Ledr.Odd);
+  Alcotest.(check int) "fires now" 1 (Cell.settle c);
+  Alcotest.(check bool) "1 and 0" false (Ledr.value (Cell.output c))
+
+let test_alternating_waves () =
+  let c = Cell.create (Lut4.logxor (Lut4.var 0) (Lut4.var 1)) ~arity:2 in
+  let phase = ref Ledr.Odd in
+  for wave = 1 to 6 do
+    let a = wave mod 2 = 0 and b = wave mod 3 = 0 in
+    drive c [ a; b ] !phase;
+    Alcotest.(check int) (Printf.sprintf "wave %d fires" wave) 1 (Cell.settle c);
+    Alcotest.(check bool) "xor" (a <> b) (Ledr.value (Cell.output c));
+    Alcotest.(check bool) "phase carried" true (Ledr.phase (Cell.output c) = !phase);
+    phase := Ledr.flip !phase
+  done
+
+let test_feedbacks () =
+  let c = Cell.create and2 ~arity:2 in
+  Alcotest.(check bool) "fo at reset" true (Cell.feedback_to_producers c);
+  Alcotest.(check bool) "consumer fb at reset" true (Cell.feedback_to_consumers c);
+  drive c [ true; true ] Ledr.Odd;
+  ignore (Cell.settle c);
+  (* After an odd firing the producer ack and the consumer signal flip. *)
+  Alcotest.(check bool) "fo after fire" false (Cell.feedback_to_producers c);
+  Alcotest.(check bool) "consumer fb after fire" false (Cell.feedback_to_consumers c)
+
+let test_single_rail_transition () =
+  (* Across consecutive firings, the output pair flips exactly one rail —
+     the cell preserves the LEDR property. *)
+  let c = Cell.create (Lut4.var 0) ~arity:1 in
+  let prev = ref (Cell.output c) in
+  let phase = ref Ledr.Odd in
+  let rng = Ee_util.Prng.create 5 in
+  for _ = 1 to 50 do
+    Cell.set_input c 0 (Ledr.encode ~value:(Ee_util.Prng.bool rng) ~phase:!phase);
+    ignore (Cell.settle c);
+    let now = Cell.output c in
+    Alcotest.(check int) "hamming 1" 1 (Ledr.hamming !prev now);
+    prev := now;
+    phase := Ledr.flip !phase
+  done
+
+let test_matches_abstract_rule () =
+  (* The component-level cell and the abstract rule "fire iff every input
+     phase differs from the gate phase" agree on random stimulus, including
+     partial-arrival states. *)
+  let rng = Ee_util.Prng.create 9 in
+  let c = Cell.create (Lut4.logor (Lut4.var 0) (Lut4.var 1)) ~arity:2 in
+  let expected_phase = ref false in
+  for _ = 1 to 200 do
+    (* Randomly refresh a subset of inputs to the next phase. *)
+    let next = Ledr.phase_of_bool (not !expected_phase) in
+    let refreshed = Array.init 2 (fun _ -> Ee_util.Prng.bool rng) in
+    Array.iteri
+      (fun k r -> if r then Cell.set_input c k (Ledr.encode ~value:(Ee_util.Prng.bool rng) ~phase:next))
+      refreshed;
+    let should_fire =
+      (* Abstract rule: every input carries the opposite of the gate phase. *)
+      Array.for_all (fun r -> Ledr.phase r = next) (Cell.inputs c)
+    in
+    let fired = Cell.settle c > 0 in
+    if should_fire then begin
+      Alcotest.(check bool) "fired" true fired;
+      expected_phase := not !expected_phase
+    end;
+    Alcotest.(check bool) "phase tracks" true
+      (Cell.gate_phase c = Ledr.phase_of_bool !expected_phase)
+  done
+
+let suite =
+  ( "cell",
+    [
+      Alcotest.test_case "reset state" `Quick test_reset_state;
+      Alcotest.test_case "fires once per wave" `Quick test_fires_once_per_wave;
+      Alcotest.test_case "waits for all inputs" `Quick test_waits_for_all_inputs;
+      Alcotest.test_case "alternating waves" `Quick test_alternating_waves;
+      Alcotest.test_case "feedbacks" `Quick test_feedbacks;
+      Alcotest.test_case "single-rail transitions" `Quick test_single_rail_transition;
+      Alcotest.test_case "matches abstract rule" `Quick test_matches_abstract_rule;
+    ] )

@@ -1,0 +1,40 @@
+module Cost = Ee_core.Cost
+
+let feq = Alcotest.float 1e-9
+
+let test_equation1 () =
+  (* Cost = %Coverage * Mmax / Tmax. *)
+  Alcotest.check feq "50 * 3 / 1" 150.
+    (Cost.cost Cost.Arrival_weighted ~coverage:50. ~m_max:3 ~t_max:1);
+  Alcotest.check feq "equal arrivals: cost = coverage" 75.
+    (Cost.cost Cost.Arrival_weighted ~coverage:75. ~m_max:4 ~t_max:4)
+
+let test_coverage_only () =
+  Alcotest.check feq "ignores arrivals" 62.5
+    (Cost.cost Cost.Coverage_only ~coverage:62.5 ~m_max:9 ~t_max:1)
+
+let test_weight_monotonicity () =
+  (* Faster triggers (smaller Tmax) always score higher. *)
+  let c t = Cost.cost Cost.Arrival_weighted ~coverage:50. ~m_max:6 ~t_max:t in
+  Alcotest.(check bool) "t=1 beats t=2" true (c 1 > c 2);
+  Alcotest.(check bool) "t=2 beats t=5" true (c 2 > c 5)
+
+let test_tmax_zero_rejected () =
+  match Cost.cost Cost.Arrival_weighted ~coverage:10. ~m_max:2 ~t_max:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_speedup_possible () =
+  Alcotest.(check bool) "strictly earlier" true (Cost.speedup_possible ~m_max:3 ~t_max:1);
+  Alcotest.(check bool) "equal: no" false (Cost.speedup_possible ~m_max:3 ~t_max:3);
+  Alcotest.(check bool) "later: no" false (Cost.speedup_possible ~m_max:2 ~t_max:4)
+
+let suite =
+  ( "cost",
+    [
+      Alcotest.test_case "equation 1" `Quick test_equation1;
+      Alcotest.test_case "coverage only" `Quick test_coverage_only;
+      Alcotest.test_case "weight monotonicity" `Quick test_weight_monotonicity;
+      Alcotest.test_case "t_max zero rejected" `Quick test_tmax_zero_rejected;
+      Alcotest.test_case "speedup_possible" `Quick test_speedup_possible;
+    ] )

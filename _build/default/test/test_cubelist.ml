@@ -1,0 +1,81 @@
+module Cl = Ee_logic.Cubelist
+module Tt = Ee_logic.Truthtab
+module Cube = Ee_logic.Cube
+
+let tt_gen arity =
+  QCheck.make
+    ~print:(fun t -> Tt.to_string t)
+    (QCheck.Gen.map (fun seed -> Tt.random (Ee_util.Prng.create seed) arity) QCheck.Gen.int)
+
+let qtest name ?(count = 150) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* The semantic (truth-table) trigger: a minterm triggers iff the function
+   is constant once the subset variables are fixed to that minterm's bits. *)
+let semantic_trigger tt ~subset =
+  Tt.of_fun (Tt.arity tt) (fun m ->
+      Tt.constant_under tt ~subset ~assignment:m <> None)
+
+let prop_cube_route_equals_truthtab_route =
+  (* The central cross-check of the trigger machinery: the paper's cube-list
+     derivation (Table 2) agrees with the direct semantic definition for
+     every function and subset. *)
+  qtest "cube-list trigger = semantic trigger" ~count:300
+    (QCheck.pair (tt_gen 4) (QCheck.int_range 0 15))
+    (fun (f, subset) ->
+      let cl = Cl.of_truthtab f in
+      Tt.equal (Cl.trigger_on_set cl ~subset) (semantic_trigger f ~subset))
+
+let prop_coverage_counts =
+  qtest "coverage count = ones of the trigger" (QCheck.pair (tt_gen 4) (QCheck.int_range 0 15))
+    (fun (f, subset) ->
+      let cl = Cl.of_truthtab f in
+      Cl.coverage_count cl ~subset = Tt.count_ones (Cl.trigger_on_set cl ~subset))
+
+let prop_reconstruct =
+  qtest "to_truthtab inverts of_truthtab" (tt_gen 4) (fun f ->
+      Tt.equal f (Cl.to_truthtab (Cl.of_truthtab f)))
+
+let prop_on_off_disjoint_cover =
+  qtest "ON and OFF covers partition the space" (tt_gen 4) (fun f ->
+      let cl = Cl.of_truthtab f in
+      let on = Ee_logic.Qm.cubes_to_truthtab ~nvars:4 (Cl.on_cubes cl) in
+      let off = Ee_logic.Qm.cubes_to_truthtab ~nvars:4 (Cl.off_cubes cl) in
+      Tt.equal on f && Tt.equal off (Tt.lognot f))
+
+let test_paper_example () =
+  (* Table 2 of the paper: carry function over (a=2, b=1, c=0),
+     subset {a,b}. *)
+  let carry = Tt.of_string "11101000" in
+  let cl = Cl.of_truthtab carry in
+  let subset = 0b110 in
+  Alcotest.(check int) "coverage count 4 of 8" 4 (Cl.coverage_count cl ~subset);
+  Alcotest.(check (float 1e-9)) "coverage 50%" 50. (Cl.coverage_percent cl ~subset);
+  (* Per-cube contributions: 11- and 00- contribute 2 each, others 0. *)
+  List.iter
+    (fun (cube, _output, contribution) ->
+      let s = Cube.to_string ~nvars:3 cube in
+      let expected = if s = "11-" || s = "00-" then 2 else 0 in
+      Alcotest.(check int) ("contribution of " ^ s) expected contribution)
+    (Cl.cube_analysis cl ~subset);
+  (* The trigger function is ab + a'b'. *)
+  let trig = Cl.trigger_on_set cl ~subset in
+  Alcotest.(check string) "trigger tt" "11000011" (Tt.to_string trig)
+
+let test_full_coverage_subset () =
+  (* If the subset is the whole support, every minterm is covered. *)
+  let f = Tt.of_string "0110" in
+  let cl = Cl.of_truthtab f in
+  Alcotest.(check int) "xor full subset" 4 (Cl.coverage_count cl ~subset:0b11);
+  Alcotest.(check int) "xor single var: nothing" 0 (Cl.coverage_count cl ~subset:0b01)
+
+let suite =
+  ( "cubelist",
+    [
+      Alcotest.test_case "paper Table 2 example" `Quick test_paper_example;
+      Alcotest.test_case "full coverage subsets" `Quick test_full_coverage_subset;
+      prop_cube_route_equals_truthtab_route;
+      prop_coverage_counts;
+      prop_reconstruct;
+      prop_on_off_disjoint_cover;
+    ] )

@@ -1,0 +1,92 @@
+module Cutmap = Ee_rtl.Cutmap
+module Techmap = Ee_rtl.Techmap
+module Netlist = Ee_netlist.Netlist
+
+let qtest name ?(count = 30) prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count QCheck.(int_range 0 1_000_000) prop)
+
+let rtl_equiv d nl cycles seed =
+  let pm = Ee_rtl.Portmap.make d nl in
+  let rng = Ee_util.Prng.create seed in
+  let env = ref (Ee_rtl.Rtl.initial_env d) in
+  let st = ref (Netlist.initial_state nl) in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    if !ok then begin
+      let ins = Ee_rtl.Portmap.random_inputs pm rng in
+      let outs_rtl, env' = Ee_rtl.Rtl.step d !env ins in
+      let outs_nl, st' = Ee_rtl.Portmap.step pm !st ins in
+      env := env';
+      st := st';
+      if List.exists (fun (n, v) -> List.assoc n outs_nl <> v) outs_rtl then ok := false
+    end
+  done;
+  !ok
+
+let prop_depth_mode_equiv =
+  qtest "depth mapping preserves semantics" (fun seed ->
+      let d = Ee_rtl.Rtl_gen.generate seed in
+      rtl_equiv d (Cutmap.run_rtl ~mode:Cutmap.Depth d) 30 (seed + 1))
+
+let prop_ee_mode_equiv =
+  qtest "EE-aware mapping preserves semantics" ~count:20 (fun seed ->
+      let d = Ee_rtl.Rtl_gen.generate seed in
+      rtl_equiv d (Cutmap.run_rtl ~mode:Cutmap.Ee_aware d) 30 (seed + 2))
+
+let prop_depth_never_worse =
+  qtest "depth mapping never deepens vs greedy" (fun seed ->
+      let d = Ee_rtl.Rtl_gen.generate seed in
+      Netlist.depth (Cutmap.run_rtl ~mode:Cutmap.Depth d) <= Netlist.depth (Techmap.run_rtl d))
+
+let test_benchmark_equivalence () =
+  List.iter
+    (fun id ->
+      let b = Ee_bench_circuits.Itc99.find id in
+      let d = b.Ee_bench_circuits.Itc99.build () in
+      List.iter
+        (fun mode ->
+          let nl = Cutmap.run_rtl ~mode d in
+          Alcotest.(check bool) (id ^ " equiv") true (rtl_equiv d nl 50 7);
+          (* The mapped netlist also goes through the full PL+EE flow. *)
+          let pl = Ee_phased.Pl.of_netlist nl in
+          let pl_ee, _ = Ee_core.Synth.run pl in
+          Alcotest.(check bool) (id ^ " pl equiv") true
+            (Ee_sim.Sim.equiv_random pl_ee nl ~vectors:40 ~seed:3))
+        [ Cutmap.Depth; Cutmap.Ee_aware ])
+    [ "b03"; "b09"; "b11" ]
+
+let test_depth_improves_over_greedy () =
+  (* The ripple-heavy b04 must get meaningfully shallower under the depth
+     objective. *)
+  let d = (Ee_bench_circuits.Itc99.find "b04").Ee_bench_circuits.Itc99.build () in
+  let greedy = Netlist.depth (Techmap.run_rtl d) in
+  let depth = Netlist.depth (Cutmap.run_rtl ~mode:Cutmap.Depth d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth %d < greedy %d" depth greedy)
+    true (depth < greedy)
+
+let test_lut_invariants () =
+  let d = (Ee_bench_circuits.Itc99.find "b07").Ee_bench_circuits.Itc99.build () in
+  let nl = Cutmap.run_rtl ~mode:Cutmap.Ee_aware d in
+  List.iter
+    (fun i ->
+      match Netlist.node nl i with
+      | Netlist.Lut { func; fanin } ->
+          let n = Array.length fanin in
+          Alcotest.(check bool) "fanin 1..4" true (n >= 1 && n <= 4);
+          Alcotest.(check int) "support within fanin" 0
+            (Ee_logic.Lut4.support func land lnot (Ee_util.Bits.mask n))
+      | _ -> ())
+    (Netlist.lut_ids nl)
+
+let suite =
+  ( "cutmap",
+    [
+      Alcotest.test_case "benchmark equivalence" `Quick test_benchmark_equivalence;
+      Alcotest.test_case "depth improves over greedy" `Quick test_depth_improves_over_greedy;
+      Alcotest.test_case "lut invariants" `Quick test_lut_invariants;
+      prop_depth_mode_equiv;
+      prop_ee_mode_equiv;
+      prop_depth_never_worse;
+    ] )

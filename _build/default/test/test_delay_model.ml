@@ -1,0 +1,96 @@
+module Dm = Ee_sim.Delay_model
+module Sim = Ee_sim.Sim
+module Pl = Ee_phased.Pl
+
+let pl_pair id =
+  let nl = Ee_rtl.Techmap.run_rtl ((Ee_bench_circuits.Itc99.find id).Ee_bench_circuits.Itc99.build ()) in
+  let pl = Pl.of_netlist nl in
+  let pl_ee, _ = Ee_core.Synth.run pl in
+  (nl, pl, pl_ee)
+
+let run_with pl delays vectors seed =
+  let t = Sim.create_with_delays ~delays pl in
+  let rng = Ee_util.Prng.create seed in
+  let width = Array.length (Pl.source_ids pl) in
+  let acc = ref 0. in
+  for _ = 1 to vectors do
+    acc := !acc +. (Sim.apply t (Ee_util.Prng.bool_vector rng width)).Sim.settle_time
+  done;
+  !acc /. float_of_int vectors
+
+let test_uniform_matches_default () =
+  let _, pl, _ = pl_pair "b05" in
+  let uniform = Dm.uniform pl ~gate_delay:1.0 in
+  Alcotest.(check (float 1e-9)) "same as plain create"
+    (Sim.run_random pl ~vectors:30 ~seed:3).Sim.avg_settle_time
+    (run_with pl uniform 30 3)
+
+let test_jitter_bounds () =
+  let _, pl, _ = pl_pair "b05" in
+  let d = Dm.jittered pl ~gate_delay:1.0 ~spread:0.3 ~seed:7 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "within band" true (x >= 0.7 -. 1e-9 && x <= 1.3 +. 1e-9))
+    d;
+  Alcotest.(check bool) "not all equal" true (Array.exists (fun x -> x <> d.(0)) d);
+  (* Deterministic in the seed. *)
+  Alcotest.(check bool) "deterministic" true
+    (Dm.jittered pl ~gate_delay:1.0 ~spread:0.3 ~seed:7 = d)
+
+let test_jitter_validation () =
+  let _, pl, _ = pl_pair "b02" in
+  match Dm.jittered pl ~gate_delay:1.0 ~spread:1.5 ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected spread validation"
+
+let test_fanin_loaded () =
+  let _, pl, _ = pl_pair "b04" in
+  let d = Dm.fanin_loaded pl ~gate_delay:1.0 ~per_input:0.25 in
+  Array.iteri
+    (fun i g ->
+      let expect = 1.0 +. (0.25 *. float_of_int (max 0 (Array.length g.Pl.fanin - 1))) in
+      Alcotest.(check (float 1e-9)) "loading formula" expect d.(i))
+    (Pl.gates pl)
+
+let test_values_unaffected_by_delays () =
+  (* Delay assignment changes timing, never functionality. *)
+  let nl, _, pl_ee = pl_pair "b09" in
+  let delays = Dm.jittered pl_ee ~gate_delay:1.0 ~spread:0.5 ~seed:13 in
+  let t = Sim.create_with_delays ~delays pl_ee in
+  let st = ref (Ee_netlist.Netlist.initial_state nl) in
+  let rng = Ee_util.Prng.create 21 in
+  let width = Array.length (Pl.source_ids pl_ee) in
+  for _ = 1 to 80 do
+    let vec = Ee_util.Prng.bool_vector rng width in
+    let w = Sim.apply t vec in
+    let outs, st' = Ee_netlist.Netlist.step nl !st vec in
+    st := st';
+    Alcotest.(check bool) "outputs equal" true (w.Sim.outputs = outs)
+  done
+
+let test_ee_survives_jitter () =
+  (* The Eq.1 choices are made under the unit-delay model; the speedup must
+     persist (if attenuated) when the actual delays are jittered. *)
+  let _, pl, pl_ee = pl_pair "b04" in
+  List.iter
+    (fun spread ->
+      let d_base = Dm.jittered pl ~gate_delay:1.0 ~spread ~seed:5 in
+      (* The EE netlist has extra trigger gates: jitter them with the same
+         seed stream plus the same spread. *)
+      let d_ee = Dm.jittered pl_ee ~gate_delay:1.0 ~spread ~seed:5 in
+      let base = run_with pl d_base 100 9 in
+      let ee = run_with pl_ee d_ee 100 9 in
+      Alcotest.(check bool)
+        (Printf.sprintf "EE still wins at %.0f%% jitter (%.2f vs %.2f)" (spread *. 100.) ee base)
+        true (ee < base))
+    [ 0.; 0.2; 0.4 ]
+
+let suite =
+  ( "delay-model",
+    [
+      Alcotest.test_case "uniform matches default" `Quick test_uniform_matches_default;
+      Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;
+      Alcotest.test_case "jitter validation" `Quick test_jitter_validation;
+      Alcotest.test_case "fanin loading" `Quick test_fanin_loaded;
+      Alcotest.test_case "values unaffected" `Quick test_values_unaffected_by_delays;
+      Alcotest.test_case "EE survives jitter" `Quick test_ee_survives_jitter;
+    ] )

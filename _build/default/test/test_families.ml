@@ -1,0 +1,93 @@
+module Families = Ee_bench_circuits.Families
+open Ee_rtl
+
+let flow d =
+  let nl = Techmap.run_rtl d in
+  let pl = Ee_phased.Pl.of_netlist nl in
+  let pl_ee, report = Ee_core.Synth.run pl in
+  (nl, pl, pl_ee, report)
+
+let test_all_valid_and_equivalent () =
+  List.iter
+    (fun (f : Families.family) ->
+      List.iter
+        (fun w ->
+          let d = f.Families.build w in
+          Rtl.validate d;
+          let nl, _, pl_ee, _ = flow d in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s width %d equivalent" f.Families.name w)
+            true
+            (Ee_sim.Sim.equiv_random pl_ee nl ~vectors:60 ~seed:9))
+        [ 4; 9; 16 ])
+    Families.all
+
+let test_xor_families_have_no_triggers () =
+  List.iter
+    (fun (f : Families.family) ->
+      let _, _, _, report = flow (f.Families.build 16) in
+      Alcotest.(check int) (f.Families.name ^ " has no EE gates") 0 report.Ee_core.Synth.ee_gates)
+    [ Families.parity_tree; Families.crc_step ]
+
+let test_chain_families_speed_up () =
+  List.iter
+    (fun (f : Families.family) ->
+      let _, pl, pl_ee, _ = flow (f.Families.build 16) in
+      let base = Ee_sim.Sim.run_random pl ~vectors:150 ~seed:4 in
+      let ee = Ee_sim.Sim.run_random pl_ee ~vectors:150 ~seed:4 in
+      Alcotest.(check bool)
+        (f.Families.name ^ " speeds up substantially")
+        true
+        (ee.Ee_sim.Sim.avg_settle_time < 0.7 *. base.Ee_sim.Sim.avg_settle_time))
+    [ Families.ripple_adder; Families.comparator; Families.incrementer; Families.wide_and ]
+
+let test_functional_behaviour () =
+  (* Spot-check semantics of the builders themselves. *)
+  let run d ins out =
+    let outs, _ = Rtl.step d (Rtl.initial_env d) ins in
+    List.assoc out outs
+  in
+  let add = Families.ripple_adder.Families.build 8 in
+  Alcotest.(check int) "adder" (200 + 100) (run add [ ("a", 200); ("b", 100) ] "sum");
+  let cmp = Families.comparator.Families.build 8 in
+  Alcotest.(check int) "lt" 1 (run cmp [ ("a", 3); ("b", 9) ] "lt");
+  Alcotest.(check int) "not lt" 0 (run cmp [ ("a", 9); ("b", 3) ] "lt");
+  let par = Families.parity_tree.Families.build 8 in
+  Alcotest.(check int) "parity of 0xF1" 1 (run par [ ("a", 0xF1) ] "p");
+  let pri = Families.priority_encoder.Families.build 8 in
+  Alcotest.(check int) "priority of 0b00101000" 5 (run pri [ ("req", 0b00101000) ] "idx");
+  Alcotest.(check int) "priority any" 0 (run pri [ ("req", 0) ] "any");
+  let inc = Families.incrementer.Families.build 8 in
+  Alcotest.(check int) "increment wraps" 0 (run inc [ ("x", 255) ] "y")
+
+let test_crc_against_reference () =
+  (* Bitwise CRC-8/0x07 reference over an 8-bit message. *)
+  let reference init msg =
+    let crc = ref init in
+    for k = 0 to 7 do
+      let top = (!crc lsr 7) land 1 in
+      crc := (!crc lsl 1) land 0xFF;
+      crc := !crc lxor ((msg lsr k) land 1);
+      if top = 1 then crc := !crc lxor 0x07
+    done;
+    !crc
+  in
+  let d = Families.crc_step.Families.build 8 in
+  let rng = Ee_util.Prng.create 6 in
+  for _ = 1 to 50 do
+    let init = Ee_util.Prng.bits rng 8 and msg = Ee_util.Prng.bits rng 8 in
+    let outs, _ = Rtl.step d (Rtl.initial_env d) [ ("init", init); ("msg", msg) ] in
+    Alcotest.(check int)
+      (Printf.sprintf "crc(%02x, %02x)" init msg)
+      (reference init msg) (List.assoc "crc" outs)
+  done
+
+let suite =
+  ( "families",
+    [
+      Alcotest.test_case "valid and equivalent" `Quick test_all_valid_and_equivalent;
+      Alcotest.test_case "xor families immune" `Quick test_xor_families_have_no_triggers;
+      Alcotest.test_case "chain families speed up" `Quick test_chain_families_speed_up;
+      Alcotest.test_case "functional behaviour" `Quick test_functional_behaviour;
+      Alcotest.test_case "crc vs reference" `Quick test_crc_against_reference;
+    ] )

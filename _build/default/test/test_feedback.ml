@@ -1,0 +1,78 @@
+module Feedback = Ee_phased.Feedback
+module Pl = Ee_phased.Pl
+module Mg = Ee_markedgraph.Marked_graph
+module Netlist = Ee_netlist.Netlist
+module Lut4 = Ee_logic.Lut4
+
+let analyze_bench id =
+  let b = Ee_bench_circuits.Itc99.find id in
+  let nl = Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()) in
+  Feedback.analyze (Pl.of_netlist nl)
+
+let test_result_live_safe () =
+  List.iter
+    (fun id ->
+      let a = analyze_bench id in
+      Alcotest.(check bool) (id ^ " live") true (Mg.is_live a.Feedback.graph);
+      Alcotest.(check bool) (id ^ " safe") true (Mg.is_safe a.Feedback.graph))
+    [ "b01"; "b02"; "b06"; "b09" ]
+
+let test_register_loop_needs_no_feedback () =
+  (* A register in a combinational loop is itself the token loop: both
+     feedbacks of the two data arcs are redundant. *)
+  let b = Netlist.builder () in
+  let d = Netlist.add_dff b ~init:false in
+  let inv = Netlist.add_lut b (Lut4.lognot (Lut4.var 0)) [| d |] in
+  Netlist.connect_dff b d ~d:inv;
+  Netlist.set_output b "q" d;
+  let pl = Pl.of_netlist (Netlist.finalize b) in
+  let a = Feedback.analyze pl in
+  Alcotest.(check bool) "some removed" true (List.length a.Feedback.removed >= 2);
+  Alcotest.(check bool) "still live" true (Mg.is_live a.Feedback.graph)
+
+let test_pure_pipeline_keeps_feedbacks () =
+  (* A feedforward chain source -> lut -> sink has no loops except the
+     feedback pairs themselves: nothing is redundant. *)
+  let b = Netlist.builder () in
+  let x = Netlist.add_input b "x" in
+  let g1 = Netlist.add_lut b (Lut4.lognot (Lut4.var 0)) [| x |] in
+  let g2 = Netlist.add_lut b (Lut4.lognot (Lut4.var 0)) [| g1 |] in
+  Netlist.set_output b "y" g2;
+  let pl = Pl.of_netlist (Netlist.finalize b) in
+  let a = Feedback.analyze pl in
+  Alcotest.(check int) "nothing removable" 0 (List.length a.Feedback.removed);
+  Alcotest.(check int) "three pairs" 3 a.Feedback.total_feedbacks
+
+let test_savings_percent () =
+  let a = analyze_bench "b02" in
+  let expected =
+    100.
+    *. float_of_int (List.length a.Feedback.removed)
+    /. float_of_int a.Feedback.total_feedbacks
+  in
+  Alcotest.(check (float 1e-9)) "percent formula" expected (Feedback.savings_percent a)
+
+let test_deterministic () =
+  let a1 = analyze_bench "b06" and a2 = analyze_bench "b06" in
+  Alcotest.(check bool) "same removals" true (a1.Feedback.removed = a2.Feedback.removed)
+
+let test_token_game_on_reduced_graph () =
+  (* The reduced graph must still run forever without deadlock or token
+     pile-up. *)
+  let a = analyze_bench "b06" in
+  let rng = Ee_util.Prng.create 13 in
+  match Mg.run_token_game a.Feedback.graph ~steps:3000 ~rng with
+  | `Ok _ -> ()
+  | `Unsafe arc -> Alcotest.failf "unsafe at arc %d" arc
+  | `Dead -> Alcotest.fail "deadlock after feedback removal"
+
+let suite =
+  ( "feedback",
+    [
+      Alcotest.test_case "result live+safe" `Quick test_result_live_safe;
+      Alcotest.test_case "register loop needs no feedback" `Quick test_register_loop_needs_no_feedback;
+      Alcotest.test_case "pure pipeline keeps feedbacks" `Quick test_pure_pipeline_keeps_feedbacks;
+      Alcotest.test_case "savings percent" `Quick test_savings_percent;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "token game on reduced graph" `Quick test_token_game_on_reduced_graph;
+    ] )

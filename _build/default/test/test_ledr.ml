@@ -1,0 +1,60 @@
+module Ledr = Ee_phased.Ledr
+
+let all_rails =
+  [
+    { Ledr.v = false; t = false };
+    { Ledr.v = false; t = true };
+    { Ledr.v = true; t = false };
+    { Ledr.v = true; t = true };
+  ]
+
+let test_phase () =
+  (* p = v xor t. *)
+  List.iter
+    (fun r ->
+      let expect = if r.Ledr.v <> r.Ledr.t then Ledr.Odd else Ledr.Even in
+      Alcotest.(check bool) "phase" true (Ledr.phase r = expect))
+    all_rails
+
+let test_encode_decode () =
+  List.iter
+    (fun value ->
+      List.iter
+        (fun phase ->
+          let r = Ledr.encode ~value ~phase in
+          Alcotest.(check bool) "value preserved" value (Ledr.value r);
+          Alcotest.(check bool) "phase preserved" true (Ledr.phase r = phase))
+        [ Ledr.Even; Ledr.Odd ])
+    [ false; true ]
+
+let test_next_single_rail_transition () =
+  (* The defining LEDR property: consecutive tokens differ in exactly one
+     rail, for every current rail pair and every next value. *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun value' ->
+          let r' = Ledr.next r value' in
+          Alcotest.(check int) "hamming 1" 1 (Ledr.hamming r r');
+          Alcotest.(check bool) "value" value' (Ledr.value r');
+          Alcotest.(check bool) "phase flipped" true (Ledr.phase r' = Ledr.flip (Ledr.phase r)))
+        [ false; true ])
+    all_rails
+
+let test_phase_bool_roundtrip () =
+  Alcotest.(check bool) "odd" true (Ledr.bool_of_phase (Ledr.phase_of_bool true));
+  Alcotest.(check bool) "even" false (Ledr.bool_of_phase (Ledr.phase_of_bool false))
+
+let test_hamming () =
+  Alcotest.(check int) "same" 0 (Ledr.hamming (List.nth all_rails 0) (List.nth all_rails 0));
+  Alcotest.(check int) "both differ" 2 (Ledr.hamming (List.nth all_rails 0) (List.nth all_rails 3))
+
+let suite =
+  ( "ledr",
+    [
+      Alcotest.test_case "phase = v xor t" `Quick test_phase;
+      Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+      Alcotest.test_case "single-rail transitions" `Quick test_next_single_rail_transition;
+      Alcotest.test_case "phase/bool roundtrip" `Quick test_phase_bool_roundtrip;
+      Alcotest.test_case "hamming" `Quick test_hamming;
+    ] )

@@ -1,0 +1,112 @@
+module Lut4 = Ee_logic.Lut4
+module Tt = Ee_logic.Truthtab
+
+let lut_gen =
+  QCheck.make
+    ~print:(fun f -> Lut4.to_string f)
+    (QCheck.Gen.map (fun v -> Lut4.of_int (v land 0xFFFF)) QCheck.Gen.int)
+
+let qtest name ?(count = 300) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let test_roundtrip () =
+  for _ = 1 to 50 do
+    let rng = Ee_util.Prng.create 5 in
+    let f = Lut4.random rng in
+    Alcotest.(check bool) "tt roundtrip" true
+      (Lut4.equal f (Lut4.of_truthtab (Lut4.to_truthtab f)))
+  done
+
+let test_of_int_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Lut4.of_int: out of range") (fun () ->
+      ignore (Lut4.of_int (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Lut4.of_int: out of range") (fun () ->
+      ignore (Lut4.of_int 65536))
+
+let test_vars () =
+  for i = 0 to 3 do
+    for m = 0 to 15 do
+      Alcotest.(check bool) "projection" ((m lsr i) land 1 = 1) (Lut4.eval_bits (Lut4.var i) m)
+    done
+  done
+
+let test_consts () =
+  Alcotest.(check int) "const0 ones" 0 (Lut4.count_ones Lut4.const0);
+  Alcotest.(check int) "const1 ones" 16 (Lut4.count_ones Lut4.const1)
+
+let prop_ops_match_truthtab =
+  qtest "ops agree with Truthtab" (QCheck.pair lut_gen lut_gen) (fun (a, b) ->
+      let ta = Lut4.to_truthtab a and tb = Lut4.to_truthtab b in
+      Lut4.equal (Lut4.logand a b) (Lut4.of_truthtab (Tt.logand ta tb))
+      && Lut4.equal (Lut4.logor a b) (Lut4.of_truthtab (Tt.logor ta tb))
+      && Lut4.equal (Lut4.logxor a b) (Lut4.of_truthtab (Tt.logxor ta tb))
+      && Lut4.equal (Lut4.lognot a) (Lut4.of_truthtab (Tt.lognot ta)))
+
+let prop_support_matches_truthtab =
+  qtest "support agrees with Truthtab" lut_gen (fun f ->
+      Lut4.support f = Tt.support (Lut4.to_truthtab f))
+
+let prop_restrict_matches =
+  qtest "restrict agrees with Truthtab" lut_gen (fun f ->
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun value ->
+              Lut4.equal
+                (Lut4.restrict f ~var:v ~value)
+                (Lut4.of_truthtab (Tt.restrict (Lut4.to_truthtab f) ~var:v ~value)))
+            [ false; true ])
+        [ 0; 1; 2; 3 ])
+
+let prop_constant_under_matches =
+  qtest "constant_under agrees with Truthtab"
+    (QCheck.pair lut_gen (QCheck.int_range 0 15))
+    (fun (f, subset) ->
+      List.for_all
+        (fun assignment ->
+          Lut4.constant_under f ~subset ~assignment
+          = Tt.constant_under (Lut4.to_truthtab f) ~subset ~assignment)
+        (List.init 16 Fun.id))
+
+let prop_mux =
+  qtest "mux pointwise" (QCheck.triple lut_gen lut_gen lut_gen) (fun (s, f0, f1) ->
+      let m = Lut4.mux ~sel:s ~f0 ~f1 in
+      List.for_all
+        (fun i ->
+          Lut4.eval_bits m i
+          = if Lut4.eval_bits s i then Lut4.eval_bits f1 i else Lut4.eval_bits f0 i)
+        (List.init 16 Fun.id))
+
+let test_eval_array () =
+  let f = Lut4.logand (Lut4.var 0) (Lut4.var 3) in
+  Alcotest.(check bool) "1001" true (Lut4.eval f [| true; false; false; true |]);
+  Alcotest.(check bool) "1000" false (Lut4.eval f [| true; false; false; false |])
+
+let test_random_with_support () =
+  let rng = Ee_util.Prng.create 77 in
+  for k = 1 to 4 do
+    let f = Lut4.random_with_support rng k in
+    Alcotest.(check int) "support size" k (Lut4.support_size f);
+    Alcotest.(check int) "support is low bits" (Ee_util.Bits.mask k) (Lut4.support f)
+  done
+
+let test_string () =
+  Alcotest.(check string) "const0" "0000000000000000" (Lut4.to_string Lut4.const0);
+  Alcotest.(check string) "var0" "1010101010101010" (Lut4.to_string (Lut4.var 0))
+
+let suite =
+  ( "lut4",
+    [
+      Alcotest.test_case "truthtab roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "of_int range" `Quick test_of_int_range;
+      Alcotest.test_case "projections" `Quick test_vars;
+      Alcotest.test_case "constants" `Quick test_consts;
+      Alcotest.test_case "eval array" `Quick test_eval_array;
+      Alcotest.test_case "random_with_support" `Quick test_random_with_support;
+      Alcotest.test_case "to_string" `Quick test_string;
+      prop_ops_match_truthtab;
+      prop_support_matches_truthtab;
+      prop_restrict_matches;
+      prop_constant_under_matches;
+      prop_mux;
+    ] )

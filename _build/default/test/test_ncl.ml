@@ -1,0 +1,94 @@
+module Ncl = Ee_ncl.Ncl
+module Netlist = Ee_netlist.Netlist
+
+let netlist_of id =
+  Ee_rtl.Techmap.run_rtl ((Ee_bench_circuits.Itc99.find id).Ee_bench_circuits.Itc99.build ())
+
+let test_equivalence () =
+  List.iter
+    (fun id ->
+      let nl = netlist_of id in
+      let ncl = Ncl.of_netlist nl in
+      Alcotest.(check bool) (id ^ " matches golden model") true
+        (Ncl.equiv_random ncl nl ~vectors:80 ~seed:7))
+    [ "b01"; "b02"; "b06"; "b09"; "b10" ]
+
+let test_block_expansion () =
+  (* "NCL computation blocks are quite different from their synchronous
+     counterparts": DIMS costs 2^k + 2 threshold gates per k-input LUT. *)
+  let nl = netlist_of "b09" in
+  let ncl = Ncl.of_netlist nl in
+  let luts = Netlist.lut_count nl in
+  Alcotest.(check bool) "at least 4x the gates" true (Ncl.gate_count ncl >= 4 * luts);
+  Alcotest.(check bool) "at most 18x" true (Ncl.gate_count ncl <= 18 * luts)
+
+let test_strongly_indicating () =
+  (* No early evaluation is possible: outputs never assert before the last
+     transitive input. *)
+  List.iter
+    (fun id ->
+      let nl = netlist_of id in
+      let ncl = Ncl.of_netlist nl in
+      Alcotest.(check bool) (id ^ " strongly indicating") true
+        (Ncl.strongly_indicating_witness ncl ~vectors:40 ~seed:11))
+    [ "b02"; "b09"; "b11" ]
+
+let test_null_wave_cost () =
+  (* The NCL cycle pays the NULL traversal on top of the DATA wave. *)
+  let nl = netlist_of "b11" in
+  let ncl = Ncl.of_netlist nl in
+  let r = Ncl.run_random ncl ~vectors:50 ~seed:3 in
+  Alcotest.(check bool) "null wave comparable to data wave" true (r.Ncl.null_time > 0.);
+  Alcotest.(check bool) "cycle > data + null" true
+    (r.Ncl.avg_cycle > r.Ncl.avg_data_time +. r.Ncl.null_time);
+  Alcotest.(check int) "waves" 50 r.Ncl.waves
+
+let test_completion_inputs () =
+  let nl = netlist_of "b09" in
+  let ncl = Ncl.of_netlist nl in
+  (* Outputs + register D rails. *)
+  let expected = Array.length (Netlist.outputs nl) + Netlist.dff_count nl in
+  Alcotest.(check int) "completion observes outputs and registers" expected
+    (Ncl.completion_inputs ncl)
+
+let test_constant_folding () =
+  (* A netlist with constant nodes must map and simulate fine. *)
+  let b = Netlist.builder () in
+  let x = Netlist.add_input b "x" in
+  let one = Netlist.add_const b true in
+  let g =
+    Netlist.add_lut b
+      (Ee_logic.Lut4.logand (Ee_logic.Lut4.var 0) (Ee_logic.Lut4.var 1))
+      [| x; one |]
+  in
+  Netlist.set_output b "y" g;
+  let nl = Netlist.finalize b in
+  let ncl = Ncl.of_netlist nl in
+  Alcotest.(check bool) "const fed LUT works" true
+    (Ncl.equiv_random ncl nl ~vectors:20 ~seed:1)
+
+let test_vs_pl_latency () =
+  (* The headline comparison: on an arithmetic circuit, PL with EE has a
+     lower average wave latency than NCL's DATA wave (strong indication
+     forbids NCL from exploiting early generate/kill), and NCL additionally
+     pays the NULL wave. *)
+  let nl = netlist_of "b11" in
+  let ncl = Ncl.of_netlist nl in
+  let pl = Ee_phased.Pl.of_netlist nl in
+  let pl_ee, _ = Ee_core.Synth.run pl in
+  let ncl_run = Ncl.run_random ncl ~vectors:100 ~seed:5 in
+  let pl_run = Ee_sim.Sim.run_random pl_ee ~vectors:100 ~seed:5 in
+  Alcotest.(check bool) "PL+EE wave beats NCL cycle" true
+    (pl_run.Ee_sim.Sim.avg_settle_time < ncl_run.Ncl.avg_cycle)
+
+let suite =
+  ( "ncl",
+    [
+      Alcotest.test_case "equivalence" `Quick test_equivalence;
+      Alcotest.test_case "block expansion" `Quick test_block_expansion;
+      Alcotest.test_case "strongly indicating" `Quick test_strongly_indicating;
+      Alcotest.test_case "null wave cost" `Quick test_null_wave_cost;
+      Alcotest.test_case "completion inputs" `Quick test_completion_inputs;
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "PL+EE vs NCL latency" `Quick test_vs_pl_latency;
+    ] )

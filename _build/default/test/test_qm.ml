@@ -1,0 +1,91 @@
+module Qm = Ee_logic.Qm
+module Cube = Ee_logic.Cube
+module Tt = Ee_logic.Truthtab
+
+let tt_gen arity =
+  QCheck.make
+    ~print:(fun t -> Tt.to_string t)
+    (QCheck.Gen.map (fun seed -> Tt.random (Ee_util.Prng.create seed) arity) QCheck.Gen.int)
+
+let qtest name ?(count = 150) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let cube_strings nvars cubes = List.map (Cube.to_string ~nvars) cubes
+
+let test_carry_primes () =
+  (* The paper's carry function abc -> c(a+b)+ab over 3 vars has exactly the
+     ON primes {11-, 1-1, -11} and OFF primes {00-, 0-0, -00}. *)
+  let carry = Tt.of_string "11101000" in
+  Alcotest.(check (list string)) "ON primes" [ "-11"; "1-1"; "11-" ]
+    (cube_strings 3 (Qm.primes carry));
+  Alcotest.(check (list string)) "OFF primes" [ "-00"; "0-0"; "00-" ]
+    (cube_strings 3 (Qm.primes (Tt.lognot carry)))
+
+let test_xor_primes () =
+  (* XOR has no mergeable cubes: primes are the minterms. *)
+  let x = Tt.of_string "0110" in
+  Alcotest.(check int) "2 primes" 2 (List.length (Qm.primes x));
+  List.iter
+    (fun c -> Alcotest.(check int) "full literals" 2 (Cube.num_literals c))
+    (Qm.primes x)
+
+let test_const_primes () =
+  Alcotest.(check int) "false: none" 0 (List.length (Qm.primes (Tt.create 3)));
+  let ones = Qm.primes (Tt.const 3 true) in
+  Alcotest.(check (list string)) "true: universe" [ "---" ] (cube_strings 3 ones)
+
+let implies tt cube =
+  List.for_all (fun m -> Tt.eval tt m) (Cube.minterms ~nvars:(Tt.arity tt) cube)
+
+let prop_primes_are_implicants =
+  qtest "every prime is an implicant" (tt_gen 4) (fun f ->
+      List.for_all (implies f) (Qm.primes f))
+
+let prop_primes_cover =
+  qtest "primes cover the ON-set" (tt_gen 4) (fun f ->
+      Tt.equal f (Qm.cubes_to_truthtab ~nvars:4 (Qm.primes f)))
+
+let prop_primes_maximal =
+  qtest "primes are maximal (dropping any literal leaves the ON-set)" (tt_gen 4) (fun f ->
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun v ->
+              let care = Cube.care p in
+              if care land (1 lsl v) = 0 then true
+              else
+                let bigger =
+                  Cube.make ~care:(care land lnot (1 lsl v)) ~value:(Cube.value p)
+                in
+                not (implies f bigger))
+            [ 0; 1; 2; 3 ])
+        (Qm.primes f))
+
+let prop_cover_exact =
+  qtest "greedy cover is a cover by implicants" (tt_gen 4) (fun f ->
+      let cover = Qm.cover f in
+      Tt.equal f (Qm.cubes_to_truthtab ~nvars:4 cover)
+      && List.for_all (implies f) cover)
+
+let prop_cover_subset_of_primes =
+  qtest "cover cubes are primes" (tt_gen 4) (fun f ->
+      let primes = Qm.primes f in
+      List.for_all (fun c -> List.exists (Cube.equal c) primes) (Qm.cover f))
+
+let test_primes_of_minterms () =
+  let ps = Qm.primes_of_minterms ~nvars:3 [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list string)) "half-space" [ "0--" ] (cube_strings 3 ps)
+
+let suite =
+  ( "qm",
+    [
+      Alcotest.test_case "carry primes (paper)" `Quick test_carry_primes;
+      Alcotest.test_case "xor primes" `Quick test_xor_primes;
+      Alcotest.test_case "const primes" `Quick test_const_primes;
+      Alcotest.test_case "primes_of_minterms" `Quick test_primes_of_minterms;
+      prop_primes_are_implicants;
+      prop_primes_cover;
+      prop_primes_maximal;
+      prop_cover_exact;
+      prop_cover_subset_of_primes;
+    ] )

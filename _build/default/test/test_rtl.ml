@@ -1,0 +1,150 @@
+open Ee_rtl
+
+let simple_design =
+  {
+    Rtl.name = "t";
+    inputs = [ ("a", 4); ("b", 4); ("s", 1) ];
+    regs = [ ("r", 4, 5) ];
+    nexts = [ ("r", Rtl.Input "a") ];
+    outputs = [];
+  }
+
+let ev e env_extra =
+  let env = Rtl.env_with_inputs simple_design (Rtl.initial_env simple_design) env_extra in
+  Rtl.eval simple_design env e
+
+let test_eval_ops () =
+  let a = Rtl.Input "a" and b = Rtl.Input "b" in
+  let env = [ ("a", 12); ("b", 10) ] in
+  Alcotest.(check int) "and" (12 land 10) (ev (Rtl.And (a, b)) env);
+  Alcotest.(check int) "or" (12 lor 10) (ev (Rtl.Or (a, b)) env);
+  Alcotest.(check int) "xor" (12 lxor 10) (ev (Rtl.Xor (a, b)) env);
+  Alcotest.(check int) "not" 3 (ev (Rtl.Not a) env);
+  Alcotest.(check int) "add wraps" ((12 + 10) land 15) (ev (Rtl.Add (a, b)) env);
+  Alcotest.(check int) "sub wraps" ((10 - 12) land 15) (ev (Rtl.Sub (b, a)) env);
+  Alcotest.(check int) "eq false" 0 (ev (Rtl.Eq (a, b)) env);
+  Alcotest.(check int) "lt" 1 (ev (Rtl.Lt (b, a)) env);
+  Alcotest.(check int) "mux 0" 12 (ev (Rtl.Mux (Rtl.Input "s", a, b)) env);
+  Alcotest.(check int) "mux 1" 10 (ev (Rtl.Mux (Rtl.Input "s", a, b)) (("s", 1) :: env));
+  Alcotest.(check int) "concat" ((12 lsl 4) lor 10) (ev (Rtl.Concat (a, b)) env);
+  Alcotest.(check int) "slice" ((12 lsr 1) land 3) (ev (Rtl.Slice (a, 2, 1)) env);
+  Alcotest.(check int) "reduce_or" 1 (ev (Rtl.Reduce_or a) env);
+  Alcotest.(check int) "reduce_and ones" 1 (ev (Rtl.Reduce_and a) [ ("a", 15) ]);
+  Alcotest.(check int) "reduce_xor" 0 (ev (Rtl.Reduce_xor a) env)
+
+let test_widths () =
+  let d = simple_design in
+  Alcotest.(check int) "input" 4 (Rtl.width d (Rtl.Input "a"));
+  Alcotest.(check int) "reg" 4 (Rtl.width d (Rtl.Reg "r"));
+  Alcotest.(check int) "eq is 1 bit" 1 (Rtl.width d (Rtl.Eq (Rtl.Input "a", Rtl.Input "b")));
+  Alcotest.(check int) "concat" 8 (Rtl.width d (Rtl.Concat (Rtl.Input "a", Rtl.Input "b")));
+  Alcotest.(check int) "slice" 2 (Rtl.width d (Rtl.Slice (Rtl.Input "a", 2, 1)))
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_width_errors () =
+  let d = simple_design in
+  expect_invalid "mismatch" (fun () -> Rtl.width d (Rtl.And (Rtl.Input "a", Rtl.Input "s")));
+  expect_invalid "unknown" (fun () -> Rtl.width d (Rtl.Input "nope"));
+  expect_invalid "bad slice" (fun () -> Rtl.width d (Rtl.Slice (Rtl.Input "a", 4, 0)));
+  expect_invalid "bad const" (fun () -> Rtl.width d (Rtl.Const (4, 16)));
+  expect_invalid "mux selector" (fun () ->
+      Rtl.width d (Rtl.Mux (Rtl.Input "a", Rtl.Input "a", Rtl.Input "a")))
+
+let test_validate_errors () =
+  expect_invalid "missing next" (fun () ->
+      Rtl.validate { simple_design with nexts = [] });
+  expect_invalid "duplicate next" (fun () ->
+      Rtl.validate
+        { simple_design with nexts = [ ("r", Rtl.Input "a"); ("r", Rtl.Input "a") ] });
+  expect_invalid "unknown reg next" (fun () ->
+      Rtl.validate { simple_design with nexts = ("zz", Rtl.Input "a") :: simple_design.nexts });
+  expect_invalid "reset too large" (fun () ->
+      Rtl.validate { simple_design with regs = [ ("r", 4, 99) ]; nexts = [ ("r", Rtl.Input "a") ] })
+
+let test_step () =
+  let d =
+    {
+      Rtl.name = "acc";
+      inputs = [ ("x", 4) ];
+      regs = [ ("acc", 4, 0) ];
+      nexts = [ ("acc", Rtl.Add (Rtl.Reg "acc", Rtl.Input "x")) ];
+      outputs = [ ("acc", Rtl.Reg "acc"); ("next", Rtl.Add (Rtl.Reg "acc", Rtl.Input "x")) ];
+    }
+  in
+  let env = ref (Rtl.initial_env d) in
+  let outs1, env1 = Rtl.step d !env [ ("x", 3) ] in
+  env := env1;
+  let outs2, _ = Rtl.step d !env [ ("x", 2) ] in
+  Alcotest.(check int) "acc before" 0 (List.assoc "acc" outs1);
+  Alcotest.(check int) "comb out" 3 (List.assoc "next" outs1);
+  Alcotest.(check int) "acc after" 3 (List.assoc "acc" outs2);
+  Alcotest.(check int) "comb out 2" 5 (List.assoc "next" outs2)
+
+let test_helpers () =
+  let d = simple_design in
+  Alcotest.(check int) "zext width" 8 (Rtl.width d (Rtl.zext d (Rtl.Input "a") 8));
+  Alcotest.(check int) "zext value" 12 (ev (Rtl.zext simple_design (Rtl.Input "a") 8) [ ("a", 12) ]);
+  Alcotest.(check int) "shl" ((12 lsl 1) land 15) (ev (Rtl.shl simple_design (Rtl.Input "a") 1) [ ("a", 12) ]);
+  Alcotest.(check int) "shr" (12 lsr 2) (ev (Rtl.shr simple_design (Rtl.Input "a") 2) [ ("a", 12) ]);
+  Alcotest.(check int) "inc" 13 (ev (Rtl.inc simple_design (Rtl.Input "a")) [ ("a", 12) ]);
+  Alcotest.(check int) "eq_const" 1 (ev (Rtl.eq_const simple_design (Rtl.Input "a") 12) [ ("a", 12) ])
+
+let test_select () =
+  let d =
+    {
+      Rtl.name = "sel";
+      inputs = [ ("s", 2) ];
+      regs = [];
+      nexts = [];
+      outputs = [ ("y", Rtl.select (Rtl.Input "s") 4 [ Rtl.Const (4, 3); Rtl.Const (4, 7); Rtl.Const (4, 11) ]) ];
+    }
+  in
+  Rtl.validate d;
+  List.iter
+    (fun (s, expect) ->
+      let outs, _ = Rtl.step d (Rtl.initial_env d) [ ("s", s) ] in
+      Alcotest.(check int) (Printf.sprintf "case %d" s) expect (List.assoc "y" outs))
+    [ (0, 3); (1, 7); (2, 11); (3, 0) ]
+
+let test_dsl () =
+  let db = Dsl.design "dsl" in
+  let x = Dsl.input db "x" 4 in
+  let r = Dsl.reg db "r" ~width:4 ~init:1 in
+  Dsl.next_when db "r" ~enable:(Rtl.Eq (x, Rtl.Const (4, 0))) (Rtl.Add (r, x));
+  Dsl.output db "r" r;
+  let d = Dsl.finish db in
+  Alcotest.(check int) "inputs" 1 (List.length d.Rtl.inputs);
+  Alcotest.(check int) "regs" 1 (List.length d.Rtl.regs)
+
+let test_dsl_errors () =
+  expect_invalid "duplicate input" (fun () ->
+      let db = Dsl.design "d" in
+      ignore (Dsl.input db "x" 1);
+      ignore (Dsl.input db "x" 1));
+  expect_invalid "duplicate reg" (fun () ->
+      let db = Dsl.design "d" in
+      ignore (Dsl.reg db "r" ~width:1 ~init:0);
+      ignore (Dsl.reg db "r" ~width:1 ~init:0));
+  expect_invalid "duplicate next" (fun () ->
+      let db = Dsl.design "d" in
+      let r = Dsl.reg db "r" ~width:1 ~init:0 in
+      Dsl.next db "r" r;
+      Dsl.next db "r" r)
+
+let suite =
+  ( "rtl",
+    [
+      Alcotest.test_case "eval ops" `Quick test_eval_ops;
+      Alcotest.test_case "widths" `Quick test_widths;
+      Alcotest.test_case "width errors" `Quick test_width_errors;
+      Alcotest.test_case "validate errors" `Quick test_validate_errors;
+      Alcotest.test_case "step" `Quick test_step;
+      Alcotest.test_case "helpers" `Quick test_helpers;
+      Alcotest.test_case "select" `Quick test_select;
+      Alcotest.test_case "dsl" `Quick test_dsl;
+      Alcotest.test_case "dsl errors" `Quick test_dsl_errors;
+    ] )

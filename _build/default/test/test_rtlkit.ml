@@ -1,0 +1,141 @@
+open Ee_rtl
+module Kit = Ee_bench_circuits.Rtlkit
+
+(* Evaluate a pure expression with 8-bit inputs a and b. *)
+let d8 =
+  {
+    Rtl.name = "kit";
+    inputs = [ ("a", 8); ("b", 8); ("n", 3) ];
+    regs = [];
+    nexts = [];
+    outputs = [];
+  }
+
+let ev e bindings =
+  Rtl.eval d8 (Rtl.env_with_inputs d8 (Rtl.initial_env d8) bindings) e
+
+let a = Rtl.Input "a"
+
+let b = Rtl.Input "b"
+
+let test_zext () =
+  Alcotest.(check int) "value preserved" 200 (ev (Kit.zext ~from:8 12 a) [ ("a", 200) ]);
+  Alcotest.(check int) "width" 12 (Rtl.width d8 (Kit.zext ~from:8 12 a))
+
+let test_shifts () =
+  Alcotest.(check int) "shl" ((0xB3 lsl 2) land 0xFF) (ev (Kit.shl 8 a 2) [ ("a", 0xB3) ]);
+  Alcotest.(check int) "shr" (0xB3 lsr 3) (ev (Kit.shr 8 a 3) [ ("a", 0xB3) ]);
+  Alcotest.(check int) "shl overflow" 0 (ev (Kit.shl 8 a 8) [ ("a", 0xFF) ]);
+  Alcotest.(check int) "shl zero" 7 (ev (Kit.shl 8 a 0) [ ("a", 7) ])
+
+let test_rotl () =
+  Alcotest.(check int) "rotl 3" 0b10011101 (ev (Kit.rotl 8 a 3) [ ("a", 0b10110011) ]);
+  Alcotest.(check int) "rotl full" 0xAB (ev (Kit.rotl 8 a 8) [ ("a", 0xAB) ])
+
+let test_popcount () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int) (Printf.sprintf "popcount %x" v) (Ee_util.Bits.popcount v)
+        (ev (Kit.popcount 8 a) [ ("a", v) ]))
+    [ 0; 1; 0xFF; 0xA5; 0x80 ];
+  Alcotest.(check int) "width" 4 (Rtl.width d8 (Kit.popcount 8 a))
+
+let test_min_max_absdiff () =
+  Alcotest.(check int) "min" 3 (ev (Kit.min2 a b) [ ("a", 9); ("b", 3) ]);
+  Alcotest.(check int) "max" 9 (ev (Kit.max2 a b) [ ("a", 9); ("b", 3) ]);
+  Alcotest.(check int) "absdiff" 6 (ev (Kit.abs_diff a b) [ ("a", 9); ("b", 3) ]);
+  Alcotest.(check int) "absdiff sym" 6 (ev (Kit.abs_diff a b) [ ("a", 3); ("b", 9) ])
+
+let test_rom () =
+  let contents = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
+  let addr = Rtl.Input "n" in
+  Array.iteri
+    (fun i expect ->
+      Alcotest.(check int) (Printf.sprintf "rom[%d]" i) expect
+        (ev (Kit.rom 8 addr contents) [ ("n", i) ]))
+    contents
+
+let test_alu () =
+  let op v = Rtl.Const (3, v) in
+  let cases =
+    [
+      (0, (fun x y -> (x + y) land 0xFF));
+      (1, (fun x y -> (x - y) land 0xFF));
+      (2, (fun x y -> x land y));
+      (3, (fun x y -> x lor y));
+      (4, (fun x y -> x lxor y));
+      (5, (fun x _ -> (x lsl 1) land 0xFF));
+      (6, (fun x _ -> x lsr 1));
+      (7, (fun x _ -> lnot x land 0xFF));
+    ]
+  in
+  List.iter
+    (fun (code, model) ->
+      List.iter
+        (fun (x, y) ->
+          Alcotest.(check int)
+            (Printf.sprintf "alu op %d on (%d, %d)" code x y)
+            (model x y)
+            (ev (Kit.alu 8 ~op:(op code) a b) [ ("a", x); ("b", y) ]))
+        [ (0, 0); (5, 3); (200, 100); (255, 255) ])
+    cases
+
+let test_alu_flags () =
+  let z, n = Kit.alu_flags 8 a in
+  Alcotest.(check int) "zero flag" 1 (ev z [ ("a", 0) ]);
+  Alcotest.(check int) "zero flag off" 0 (ev z [ ("a", 1) ]);
+  Alcotest.(check int) "negative (msb)" 1 (ev n [ ("a", 0x80) ]);
+  Alcotest.(check int) "msb off" 0 (ev n [ ("a", 0x7F) ])
+
+let test_barrel_shl () =
+  List.iter
+    (fun (v, amt) ->
+      Alcotest.(check int)
+        (Printf.sprintf "barrel %d << %d" v amt)
+        ((v lsl amt) land 0xFF)
+        (ev (Kit.barrel_shl 8 a (Rtl.Input "n")) [ ("a", v); ("n", amt) ]))
+    [ (1, 0); (1, 7); (0xAB, 3); (0xFF, 5) ]
+
+let test_lfsr_nontrivial () =
+  (* A maximal-ish LFSR must cycle through many states without repeating
+     early. *)
+  let d =
+    {
+      Rtl.name = "lfsr";
+      inputs = [ ("tick", 1) ];
+      regs = [ ("s", 8, 1) ];
+      nexts = [ ("s", Kit.lfsr_next 8 ~taps:[ 0; 2; 3; 4 ] (Rtl.Reg "s")) ];
+      outputs = [ ("s", Rtl.Reg "s") ];
+    }
+  in
+  let env = ref (Rtl.initial_env d) in
+  let seen = Hashtbl.create 64 in
+  let period = ref 0 in
+  (try
+     for i = 1 to 300 do
+       let outs, env' = Rtl.step d !env [ ("tick", 1) ] in
+       env := env';
+       let s = List.assoc "s" outs in
+       if Hashtbl.mem seen s then begin
+         period := i;
+         raise Exit
+       end;
+       Hashtbl.add seen s ()
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "long period" true (!period = 0 || !period > 60)
+
+let suite =
+  ( "rtlkit",
+    [
+      Alcotest.test_case "zext" `Quick test_zext;
+      Alcotest.test_case "shifts" `Quick test_shifts;
+      Alcotest.test_case "rotl" `Quick test_rotl;
+      Alcotest.test_case "popcount" `Quick test_popcount;
+      Alcotest.test_case "min/max/absdiff" `Quick test_min_max_absdiff;
+      Alcotest.test_case "rom" `Quick test_rom;
+      Alcotest.test_case "alu" `Quick test_alu;
+      Alcotest.test_case "alu flags" `Quick test_alu_flags;
+      Alcotest.test_case "barrel shifter" `Quick test_barrel_shl;
+      Alcotest.test_case "lfsr period" `Quick test_lfsr_nontrivial;
+    ] )

@@ -1,0 +1,40 @@
+module Stats = Ee_util.Stats
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "singleton" 7. (Stats.mean [| 7. |])
+
+let test_summarize () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check int) "n" 8 s.Stats.n;
+  Alcotest.check feq "mean" 5. s.Stats.mean;
+  Alcotest.check feq "stddev" 2. s.Stats.stddev;
+  Alcotest.check feq "min" 2. s.Stats.min;
+  Alcotest.check feq "max" 9. s.Stats.max;
+  Alcotest.check feq "median (even)" 4.5 s.Stats.median
+
+let test_median_odd () =
+  let s = Stats.summarize [| 9.; 1.; 5. |] in
+  Alcotest.check feq "median (odd)" 5. s.Stats.median
+
+let test_percent_change () =
+  Alcotest.check feq "decrease" 25. (Stats.percent_change ~before:100. ~after:75.);
+  Alcotest.check feq "increase" (-10.) (Stats.percent_change ~before:100. ~after:110.);
+  Alcotest.check feq "zero baseline" 0. (Stats.percent_change ~before:0. ~after:5.)
+
+let test_ratio_percent () =
+  Alcotest.check feq "ratio" 33.
+    (Stats.ratio_percent ~part:33. ~whole:100.);
+  Alcotest.check feq "zero whole" 0. (Stats.ratio_percent ~part:5. ~whole:0.)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "summarize" `Quick test_summarize;
+      Alcotest.test_case "median odd" `Quick test_median_odd;
+      Alcotest.test_case "percent_change" `Quick test_percent_change;
+      Alcotest.test_case "ratio_percent" `Quick test_ratio_percent;
+    ] )

@@ -1,0 +1,153 @@
+(* Integration tests of Elaborate + Techmap: the LUT4-mapped netlist must be
+   cycle-accurate against the RTL interpreter on random stimuli, and the
+   mapping must respect the structural LUT4 invariants. *)
+
+open Ee_rtl
+module Netlist = Ee_netlist.Netlist
+
+let check_equiv ?(cycles = 150) ?(seed = 17) (d : Rtl.design) =
+  let nl = Techmap.run_rtl d in
+  let pm = Portmap.make d nl in
+  let rng = Ee_util.Prng.create seed in
+  let env = ref (Rtl.initial_env d) in
+  let st = ref (Netlist.initial_state nl) in
+  for cycle = 1 to cycles do
+    let ins = Portmap.random_inputs pm rng in
+    let outs_rtl, env' = Rtl.step d !env ins in
+    let outs_nl, st' = Portmap.step pm !st ins in
+    env := env';
+    st := st';
+    List.iter
+      (fun (n, v) ->
+        let v' = try List.assoc n outs_nl with Not_found -> -1 in
+        if v <> v' then
+          Alcotest.failf "%s: output %s mismatch at cycle %d: rtl=%d netlist=%d" d.Rtl.name n
+            cycle v v')
+      outs_rtl
+  done;
+  nl
+
+let comb name outputs inputs =
+  { Rtl.name; inputs; regs = []; nexts = []; outputs }
+
+let test_adder () =
+  ignore
+    (check_equiv
+       (comb "add"
+          [ ("s", Rtl.Add (Rtl.Input "a", Rtl.Input "b")) ]
+          [ ("a", 10); ("b", 10) ]))
+
+let test_sub_lt_eq () =
+  ignore
+    (check_equiv
+       (comb "cmp"
+          [
+            ("d", Rtl.Sub (Rtl.Input "a", Rtl.Input "b"));
+            ("lt", Rtl.Lt (Rtl.Input "a", Rtl.Input "b"));
+            ("eq", Rtl.Eq (Rtl.Input "a", Rtl.Input "b"));
+          ]
+          [ ("a", 9); ("b", 9) ]))
+
+let test_mux_slice_concat () =
+  ignore
+    (check_equiv
+       (comb "msc"
+          [
+            ( "y",
+              Rtl.Mux
+                ( Rtl.Input "s",
+                  Rtl.Concat (Rtl.Slice (Rtl.Input "a", 5, 2), Rtl.Slice (Rtl.Input "b", 3, 0)),
+                  Rtl.Concat (Rtl.Slice (Rtl.Input "b", 7, 4), Rtl.Slice (Rtl.Input "a", 3, 0)) ) );
+          ]
+          [ ("a", 8); ("b", 8); ("s", 1) ]))
+
+let test_reductions () =
+  ignore
+    (check_equiv
+       (comb "red"
+          [
+            ("ro", Rtl.Reduce_or (Rtl.Input "a"));
+            ("ra", Rtl.Reduce_and (Rtl.Input "a"));
+            ("rx", Rtl.Reduce_xor (Rtl.Input "a"));
+          ]
+          [ ("a", 11) ]))
+
+let test_sequential () =
+  let d =
+    {
+      Rtl.name = "seq";
+      inputs = [ ("x", 6); ("en", 1) ];
+      regs = [ ("acc", 6, 0); ("last", 6, 63) ];
+      nexts =
+        [
+          ("acc", Rtl.Mux (Rtl.Input "en", Rtl.Reg "acc", Rtl.Add (Rtl.Reg "acc", Rtl.Input "x")));
+          ("last", Rtl.Input "x");
+        ];
+      outputs =
+        [
+          ("acc", Rtl.Reg "acc");
+          ("changed", Rtl.Not (Rtl.Eq (Rtl.Reg "last", Rtl.Input "x")));
+        ];
+    }
+  in
+  ignore (check_equiv d)
+
+let test_lut_invariants () =
+  let b = Ee_bench_circuits.Itc99.find "b04" in
+  let nl = check_equiv (b.Ee_bench_circuits.Itc99.build ()) in
+  List.iter
+    (fun i ->
+      match Netlist.node nl i with
+      | Netlist.Lut { func; fanin } ->
+          let n = Array.length fanin in
+          Alcotest.(check bool) "fanin 1..4" true (n >= 1 && n <= 4);
+          Alcotest.(check int) "no phantom support" 0
+            (Ee_logic.Lut4.support func land lnot (Ee_util.Bits.mask n))
+      | _ -> ())
+    (Netlist.lut_ids nl)
+
+let test_constant_folding () =
+  (* x xor x = 0 must fold away to a constant. *)
+  let d = comb "fold" [ ("z", Rtl.Xor (Rtl.Input "x", Rtl.Input "x")) ] [ ("x", 4) ] in
+  let nl = Techmap.run_rtl d in
+  Alcotest.(check int) "no luts needed" 0 (Netlist.lut_count nl)
+
+let test_dead_code_elimination () =
+  (* An input that feeds nothing produces no LUTs; outputs still correct. *)
+  let d =
+    comb "dead"
+      [ ("y", Rtl.Input "a") ]
+      [ ("a", 4); ("unused", 8) ]
+  in
+  let nl = Techmap.run_rtl d in
+  Alcotest.(check int) "wire only" 0 (Netlist.lut_count nl)
+
+let test_structural_sharing () =
+  (* a+b used twice must be computed once. *)
+  let sum = Rtl.Add (Rtl.Input "a", Rtl.Input "b") in
+  let d1 = comb "share" [ ("x", sum); ("y", sum) ] [ ("a", 8); ("b", 8) ] in
+  let d2 = comb "single" [ ("x", sum) ] [ ("a", 8); ("b", 8) ] in
+  let n1 = Netlist.lut_count (Techmap.run_rtl d1) in
+  let n2 = Netlist.lut_count (Techmap.run_rtl d2) in
+  Alcotest.(check int) "shared" n2 n1
+
+let test_all_benchmarks_equiv () =
+  List.iter
+    (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+      ignore (check_equiv ~cycles:60 ~seed:23 (b.Ee_bench_circuits.Itc99.build ())))
+    Ee_bench_circuits.Itc99.all
+
+let suite =
+  ( "synthesis-flow",
+    [
+      Alcotest.test_case "adder equiv" `Quick test_adder;
+      Alcotest.test_case "sub/lt/eq equiv" `Quick test_sub_lt_eq;
+      Alcotest.test_case "mux/slice/concat equiv" `Quick test_mux_slice_concat;
+      Alcotest.test_case "reductions equiv" `Quick test_reductions;
+      Alcotest.test_case "sequential equiv" `Quick test_sequential;
+      Alcotest.test_case "lut invariants" `Quick test_lut_invariants;
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "dead code" `Quick test_dead_code_elimination;
+      Alcotest.test_case "structural sharing" `Quick test_structural_sharing;
+      Alcotest.test_case "all benchmarks equiv" `Slow test_all_benchmarks_equiv;
+    ] )

@@ -1,0 +1,42 @@
+module Table = Ee_util.Table
+
+let test_render () =
+  let t = Table.create ~headers:[ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && Astring_contains.contains s "name");
+  Alcotest.(check bool) "contains row" true (Astring_contains.contains s "alpha");
+  (* All lines have equal length (well-formed box). *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let lens = List.map String.length lines in
+  List.iter (fun l -> Alcotest.(check int) "line width" (List.hd lens) l) lens
+
+let test_row_mismatch () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_csv () =
+  let t = Table.create ~headers:[ "x"; "y" ] in
+  Table.add_row t [ "v,1"; "plain" ];
+  Table.add_separator t;
+  Table.add_row t [ "quote\"q"; "2" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv" "x,y\n\"v,1\",plain\n\"quote\"\"q\",2\n" csv
+
+let test_alignment () =
+  let t = Table.create_aligned ~headers:[ ("l", Table.Left); ("r", Table.Right) ] in
+  Table.add_row t [ "a"; "b" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "rendered" true (String.length s > 0)
+
+let suite =
+  ( "table",
+    [
+      Alcotest.test_case "render" `Quick test_render;
+      Alcotest.test_case "row mismatch" `Quick test_row_mismatch;
+      Alcotest.test_case "csv" `Quick test_csv;
+      Alcotest.test_case "alignment" `Quick test_alignment;
+    ] )

@@ -1,0 +1,61 @@
+module Vcd = Ee_export.Vcd
+module Pl = Ee_phased.Pl
+
+let pl_of id =
+  let nl = Ee_rtl.Techmap.run_rtl ((Ee_bench_circuits.Itc99.find id).Ee_bench_circuits.Itc99.build ()) in
+  let pl = Pl.of_netlist nl in
+  let pl_ee, _ = Ee_core.Synth.run pl in
+  pl_ee
+
+let test_structure () =
+  let pl = pl_of "b06" in
+  let vcd = Vcd.dump_random pl ~waves:5 ~seed:3 in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) ("contains " ^ tag) true (Astring_contains.contains vcd tag))
+    [
+      "$timescale"; "$enddefinitions"; "$dumpvars"; "#0"; "$var wire 1"; "in_irq1";
+      "out_ack1"; "_phase";
+    ]
+
+let test_var_count () =
+  let pl = pl_of "b02" in
+  let vcd = Vcd.dump_random pl ~waves:2 ~seed:1 in
+  let count needle =
+    let n = String.length needle and h = String.length vcd in
+    let rec go i acc =
+      if i + n > h then acc
+      else if String.sub vcd i n = needle then go (i + n) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  (* Two $var lines per PL gate (value + phase). *)
+  Alcotest.(check int) "vars" (2 * Array.length (Pl.gates pl)) (count "$var wire 1")
+
+let test_timestamps_monotone () =
+  let pl = pl_of "b09" in
+  let vcd = Vcd.dump_random pl ~waves:4 ~seed:7 in
+  let last = ref (-1) in
+  List.iter
+    (fun line ->
+      if String.length line > 1 && line.[0] = '#' then begin
+        let t = int_of_string (String.sub line 1 (String.length line - 1)) in
+        Alcotest.(check bool) "monotone timestamps" true (t >= !last);
+        last := t
+      end)
+    (String.split_on_char '\n' vcd)
+
+let test_deterministic () =
+  let pl = pl_of "b01" in
+  Alcotest.(check bool) "same dump" true
+    (Vcd.dump_random pl ~waves:3 ~seed:5 = Vcd.dump_random pl ~waves:3 ~seed:5)
+
+let suite =
+  ( "vcd",
+    [
+      Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "var count" `Quick test_var_count;
+      Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+    ] )
