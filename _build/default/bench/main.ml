@@ -8,14 +8,20 @@
      main.exe --sweep         threshold sweep (ablation A)
      main.exe --ablation-cost cost-weighting ablation (ablation B)
      main.exe --micro         Bechamel micro-benchmarks only
+     main.exe --engine        parallel-suite scaling run (writes BENCH_engine.json)
      main.exe --fast          fewer vectors (CI-friendly)
      main.exe --csv           also print Table 3 as CSV *)
+
+module Engine = Ee_engine.Engine
+module Trace = Ee_engine.Trace
 
 let vectors = ref 100
 
 let seed = 2002
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let suite_spec () = Engine.default_spec |> Engine.with_vectors !vectors |> Engine.with_seed seed
 
 let print_table1 () =
   section "Table 1: Truth Tables for Master and Trigger Functions";
@@ -36,7 +42,8 @@ let print_table3 ?(csv = false) () =
   Printf.printf
     "(%d random vectors per circuit, seed %d; delays in PL gate-delay units)\n\n" !vectors
     seed;
-  let t3 = Ee_report.Tables.run_table3 ~vectors:!vectors ~seed () in
+  let suite = Engine.run_suite ~spec:(suite_spec ()) () in
+  let t3 = suite.Engine.table3 in
   let t = Ee_report.Tables.table3_to_table t3 in
   Ee_util.Table.print t;
   Printf.printf "\nPaper headline: average speedup > 13%%, average area increase ~ 33%%.\n";
@@ -436,6 +443,41 @@ let print_ncl () =
     [ "b01"; "b04"; "b09"; "b11"; "b13" ];
   Ee_util.Table.print t
 
+(* Engine scaling: run the full Table 3 suite at 1 and N domains, check the
+   rows agree, and append the wall-clocks to BENCH_engine.json so the perf
+   trajectory is tracked across PRs. *)
+
+let print_engine () =
+  section "Engine: parallel suite wall-clock (Ee_engine.Engine.run_suite)";
+  let n = max 2 (Domain.recommended_domain_count ()) in
+  let spec = suite_spec () in
+  let trace = Trace.create () in
+  let s1 = Engine.run_suite ~spec ~domains:1 () in
+  let sn = Engine.run_suite ~spec ~trace ~domains:n () in
+  let rows_match = s1.Engine.table3 = sn.Engine.table3 in
+  let speedup = s1.Engine.wall_clock_s /. Float.max sn.Engine.wall_clock_s 1e-9 in
+  Printf.printf "1 domain: %.2f s   %d domains: %.2f s   speedup %.2fx   rows %s\n"
+    s1.Engine.wall_clock_s n sn.Engine.wall_clock_s speedup
+    (if rows_match then "identical" else "DIVERGED");
+  Printf.printf "(recommended_domain_count = %d on this machine)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "\nPer-stage profile at %d domains:\n" n;
+  Ee_util.Table.print (Trace.summary_table trace);
+  let json =
+    Printf.sprintf
+      "{\n  \"benchmarks\": %d,\n  \"vectors\": %d,\n  \"seed\": %d,\n\
+      \  \"domains_1_wall_s\": %.4f,\n  \"domains_n\": %d,\n\
+      \  \"domains_n_wall_s\": %.4f,\n  \"speedup\": %.3f,\n\
+      \  \"rows_match\": %b\n}\n"
+      (List.length s1.Engine.results)
+      !vectors seed s1.Engine.wall_clock_s n sn.Engine.wall_clock_s speedup rows_match
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json\n";
+  if not rows_match then exit 1
+
 (* Bechamel micro-benchmarks: one Test.make per paper table plus the core
    algorithm kernels. *)
 
@@ -504,7 +546,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine";
           ])
       args
   in
@@ -520,6 +562,7 @@ let () =
     print_table1 ();
     print_table2 ();
     print_table3 ~csv:(has "--csv") ();
+    print_engine ();
     print_sweep ();
     print_ablation_cost ();
     print_stream ();
@@ -542,6 +585,7 @@ let () =
     | Some "3" -> print_table3 ~csv:(has "--csv") ()
     | Some other -> Printf.eprintf "unknown table %s\n" other
     | None -> ());
+    if has "--engine" then print_engine ();
     if has "--sweep" then print_sweep ();
     if has "--ablation-cost" then print_ablation_cost ();
     if has "--stream" then print_stream ();

@@ -2,15 +2,16 @@
 
    ee_synth list                         enumerate benchmark circuits
    ee_synth run b04 [--threshold T] ...  synthesize + simulate one circuit
+   ee_synth suite [--jobs N] ...         all 15 benchmarks on a domain pool
    ee_synth inspect b04 [--dot FILE]     netlist/PL statistics and exports
    ee_synth check b04                    marked-graph liveness/safety proof *)
 
 open Cmdliner
+module Engine = Ee_engine.Engine
+module Trace = Ee_engine.Trace
 
 let find_bench id =
-  match List.find_opt (fun b -> b.Ee_bench_circuits.Itc99.id = id) Ee_bench_circuits.Itc99.all with
-  | Some b -> Ok b
-  | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S (try 'ee_synth list')" id))
+  match Engine.find_benchmark id with Ok b -> Ok b | Error msg -> Error (`Msg msg)
 
 let bench_arg =
   let parse s = find_bench s in
@@ -31,12 +32,15 @@ let seed_t = Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"S" ~doc:"PRNG se
 let coverage_only_t =
   Arg.(value & flag & info [ "coverage-only" ] ~doc:"Rank candidates by coverage only (ablation).")
 
+let spec_of threshold coverage_only vectors seed =
+  Engine.default_spec
+  |> Engine.with_threshold threshold
+  |> Engine.with_coverage_only coverage_only
+  |> Engine.with_vectors vectors
+  |> Engine.with_seed seed
+
 let options_of threshold coverage_only =
-  {
-    Ee_core.Synth.default_options with
-    threshold;
-    weighting = (if coverage_only then Ee_core.Cost.Coverage_only else Ee_core.Cost.Arrival_weighted);
-  }
+  Engine.synth_options (spec_of threshold coverage_only 100 2002)
 
 let list_cmd =
   let doc = "List the benchmark circuits." in
@@ -45,16 +49,16 @@ let list_cmd =
       (fun b ->
         Printf.printf "%-4s %s\n" b.Ee_bench_circuits.Itc99.id
           b.Ee_bench_circuits.Itc99.description)
-      Ee_bench_circuits.Itc99.all
+      Engine.benchmarks
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let run_cmd =
   let doc = "Synthesize a benchmark with early evaluation and report the speedup." in
   let run bench threshold coverage_only vectors seed =
-    let options = options_of threshold coverage_only in
-    let a = Ee_report.Pipeline.build ~options bench in
-    let row = Ee_report.Tables.row_of_artifact ~vectors ~seed a in
+    let spec = spec_of threshold coverage_only vectors seed in
+    let r = Engine.run ~spec bench in
+    let a = r.Engine.artifact and row = r.Engine.row in
     Printf.printf "%s: %s\n" a.Ee_report.Pipeline.id a.Ee_report.Pipeline.description;
     Printf.printf "  netlist: %s\n" (Ee_netlist.Netlist.stats_string a.Ee_report.Pipeline.netlist);
     Printf.printf "  PL gates: %d   EE gates: %d (+%.0f%% area)\n" row.Ee_report.Tables.pl_gates
@@ -69,6 +73,60 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ vectors_t $ seed_t)
+
+let suite_cmd =
+  let doc =
+    "Run all fifteen Table 3 benchmarks on a pool of domains and print the table."
+  in
+  let jobs_t =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (1 = sequential).")
+  in
+  let profile_t =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Print the per-stage timing summary.")
+  in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write Chrome trace_event JSON (load in chrome://tracing or Perfetto).")
+  in
+  let csv_t = Arg.(value & flag & info [ "csv" ] ~doc:"Also print the table as CSV.") in
+  let run threshold coverage_only vectors seed jobs profile trace_file csv =
+    let spec = spec_of threshold coverage_only vectors seed in
+    let trace =
+      if profile || trace_file <> None then Some (Trace.create ()) else None
+    in
+    let s = Engine.run_suite ~spec ?trace ~domains:jobs () in
+    let t = Ee_report.Tables.table3_to_table s.Engine.table3 in
+    Ee_util.Table.print t;
+    Printf.printf "\nAverage speedup %.1f%%, average area increase %.0f%% (%d vectors, seed %d).\n"
+      s.Engine.table3.Ee_report.Tables.avg_delay_decrease
+      s.Engine.table3.Ee_report.Tables.avg_area_increase vectors seed;
+    Printf.printf "Suite wall-clock: %.2f s on %d domain%s.\n" s.Engine.wall_clock_s
+      s.Engine.domains
+      (if s.Engine.domains = 1 then "" else "s");
+    if csv then print_string (Ee_util.Table.to_csv t);
+    Option.iter
+      (fun tr ->
+        if profile then begin
+          Printf.printf "\nPer-stage profile:\n";
+          Ee_util.Table.print (Trace.summary_table tr)
+        end;
+        Option.iter
+          (fun file ->
+            match Trace.write_chrome_json tr file with
+            | () -> Printf.printf "wrote %s (%d spans)\n" file (List.length (Trace.spans tr))
+            | exception Sys_error msg ->
+                Printf.eprintf "ee_synth: cannot write trace: %s\n" msg;
+                exit 1)
+          trace_file)
+      trace
+  in
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(
+      const run $ threshold_t $ coverage_only_t $ vectors_t $ seed_t $ jobs_t $ profile_t
+      $ trace_t $ csv_t)
 
 let inspect_cmd =
   let doc = "Print statistics; optionally export DOT renderings." in
@@ -177,6 +235,6 @@ let check_cmd =
 let main =
   let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "ee_synth" ~doc)
-    [ list_cmd; run_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd ]
+    [ list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

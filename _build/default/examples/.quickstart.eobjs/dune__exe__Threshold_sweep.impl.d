@@ -1,1 +1,1 @@
-examples/threshold_sweep.ml: Ee_bench_circuits Ee_report Ee_util List Printf
+examples/threshold_sweep.ml: Domain Ee_bench_circuits Ee_engine Ee_report Ee_util List Printf

@@ -1,1 +1,1 @@
-lib/core/trigger.ml: Ee_logic Ee_util Hashtbl List
+lib/core/trigger.ml: Ee_logic Ee_util Hashtbl List Mutex

@@ -21,11 +21,18 @@ let candidate f ~subset =
 
 (* The candidate list depends only on the 16-bit function, so a global memo
    table (at most 2^16 entries) makes whole-netlist synthesis cheap: large
-   circuits reuse a few hundred distinct LUT functions. *)
+   circuits reuse a few hundred distinct LUT functions.  Synthesis now also
+   runs on pool worker domains (Ee_util.Pool), so every table access is
+   under [memo_mutex]; the candidate list itself is computed outside the
+   lock — a race merely recomputes the same pure value. *)
 let memo : (int, candidate list) Hashtbl.t = Hashtbl.create 1024
 
+let memo_mutex = Mutex.create ()
+
 let candidates f =
-  match Hashtbl.find_opt memo (Lut4.to_int f) with
+  let key = Lut4.to_int f in
+  let cached = Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key) in
+  match cached with
   | Some cs -> cs
   | None ->
       let support = Lut4.support f in
@@ -37,7 +44,7 @@ let candidates f =
             if c.coverage_count > 0 then Some c else None)
           subsets
       in
-      Hashtbl.replace memo (Lut4.to_int f) cs;
+      Mutex.protect memo_mutex (fun () -> Hashtbl.replace memo key cs);
       cs
 
 (* Variables: a = position 2, b = position 1, c = position 0; only the low

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Ee_bench_circuits Ee_core Ee_report Ee_sim Ee_util List Printf Trace Unix

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Ee_bench_circuits Ee_core Ee_report Ee_sim Stdlib Trace

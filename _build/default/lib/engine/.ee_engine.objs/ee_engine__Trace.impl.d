@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Buffer Char Domain Ee_util Float Fun Hashtbl List Mutex Printf String Unix

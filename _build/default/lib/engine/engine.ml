@@ -1,0 +1,107 @@
+module Pipeline = Ee_report.Pipeline
+module Tables = Ee_report.Tables
+module Itc99 = Ee_bench_circuits.Itc99
+
+type spec = {
+  threshold : float;
+  coverage_only : bool;
+  min_coverage : float;
+  share_triggers : bool;
+  vectors : int;
+  seed : int;
+  gate_delay : float;
+  ee_overhead : float;
+}
+
+let default_spec =
+  {
+    threshold = 0.;
+    coverage_only = false;
+    min_coverage = 0.;
+    share_triggers = false;
+    vectors = 100;
+    seed = 2002;
+    gate_delay = Ee_sim.Sim.default_config.Ee_sim.Sim.gate_delay;
+    ee_overhead = Ee_sim.Sim.default_config.Ee_sim.Sim.ee_overhead;
+  }
+
+let with_threshold threshold spec = { spec with threshold }
+let with_coverage_only coverage_only spec = { spec with coverage_only }
+let with_min_coverage min_coverage spec = { spec with min_coverage }
+let with_share_triggers share_triggers spec = { spec with share_triggers }
+let with_vectors vectors spec = { spec with vectors }
+let with_seed seed spec = { spec with seed }
+let with_gate_delay gate_delay spec = { spec with gate_delay }
+let with_ee_overhead ee_overhead spec = { spec with ee_overhead }
+
+let synth_options spec =
+  {
+    Ee_core.Synth.threshold = spec.threshold;
+    weighting =
+      (if spec.coverage_only then Ee_core.Cost.Coverage_only
+       else Ee_core.Cost.Arrival_weighted);
+    min_coverage = spec.min_coverage;
+    share_triggers = spec.share_triggers;
+  }
+
+let sim_config spec =
+  { Ee_sim.Sim.gate_delay = spec.gate_delay; ee_overhead = spec.ee_overhead }
+
+let benchmarks = Itc99.all
+
+let find_benchmark id =
+  match List.find_opt (fun b -> b.Itc99.id = id) Itc99.all with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "unknown benchmark %S (try 'ee_synth list')" id)
+
+type result = {
+  artifact : Pipeline.artifact;
+  row : Tables.row;
+}
+
+let stage_names = Pipeline.stage_names @ [ "sim" ]
+
+let run ?(spec = default_spec) ?trace (b : Itc99.benchmark) =
+  let instrument =
+    match trace with
+    | None -> Pipeline.no_instrument
+    | Some t -> { Pipeline.wrap = (fun stage f -> Trace.with_span t ~bench:b.Itc99.id stage f) }
+  in
+  let options = synth_options spec in
+  let config = sim_config spec in
+  let artifact = Pipeline.build_staged ~options ~instrument b in
+  let row =
+    instrument.Pipeline.wrap "sim" (fun () ->
+        Tables.row_of_artifact ~vectors:spec.vectors ~seed:spec.seed ~config artifact)
+  in
+  { artifact; row }
+
+type suite = {
+  results : result list;
+  table3 : Tables.table3;
+  domains : int;
+  wall_clock_s : float;
+}
+
+let table3_of_rows rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  {
+    Tables.rows;
+    avg_area_increase =
+      List.fold_left (fun acc r -> acc +. r.Tables.area_increase) 0. rows /. n;
+    avg_delay_decrease =
+      List.fold_left (fun acc r -> acc +. r.Tables.delay_decrease) 0. rows /. n;
+  }
+
+let run_suite ?(spec = default_spec) ?trace ?(domains = 1) ?(benchmarks = benchmarks) () =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Ee_util.Pool.run ~domains (fun b -> run ~spec ?trace b) benchmarks
+  in
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  {
+    results;
+    table3 = table3_of_rows (List.map (fun r -> r.row) results);
+    domains = max 1 (min 64 domains);
+    wall_clock_s;
+  }

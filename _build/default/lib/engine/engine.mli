@@ -1,0 +1,90 @@
+(** Unified front-end for the synthesis + measurement flow.
+
+    One {!spec} record replaces the [?options] / [~vectors] / [~seed] /
+    [~threshold] plumbing that used to be threaded separately through
+    [Ee_report.Pipeline], [Ee_report.Tables] and every executable.  Build a
+    spec with {!default_spec} and the [with_*] combinators:
+
+    {[
+      let spec =
+        Engine.default_spec
+        |> Engine.with_threshold 50.
+        |> Engine.with_vectors 400
+      in
+      let r = Engine.run ~spec (Ee_bench_circuits.Itc99.find "b04")
+    ]}
+
+    {!run_suite} fans the whole Table 3 experiment (pipeline build + timed
+    simulation per benchmark) across an {!Ee_util.Pool} of domains.  Every
+    per-benchmark computation is pure given the spec, so the parallel
+    result is identical to the sequential one — only the wall clock
+    changes.  Pass a {!Trace.t} to either entry point to collect
+    per-stage spans. *)
+
+type spec = {
+  threshold : float;  (** Minimum Eq. 1 cost to insert an EE pair. *)
+  coverage_only : bool;  (** Rank candidates by coverage only (ablation). *)
+  min_coverage : float;  (** Minimum trigger coverage percent. *)
+  share_triggers : bool;  (** Merge identical trigger gates. *)
+  vectors : int;  (** Random input vectors per simulation. *)
+  seed : int;  (** PRNG seed. *)
+  gate_delay : float;  (** PL gate firing latency. *)
+  ee_overhead : float;  (** Extra Muller-C latency on EE masters. *)
+}
+
+val default_spec : spec
+(** The paper's protocol: threshold 0, Eq. 1 weighting, 100 vectors,
+    seed 2002, unit gate delay, 0.25 EE overhead. *)
+
+val with_threshold : float -> spec -> spec
+val with_coverage_only : bool -> spec -> spec
+val with_min_coverage : float -> spec -> spec
+val with_share_triggers : bool -> spec -> spec
+val with_vectors : int -> spec -> spec
+val with_seed : int -> spec -> spec
+val with_gate_delay : float -> spec -> spec
+val with_ee_overhead : float -> spec -> spec
+
+val synth_options : spec -> Ee_core.Synth.options
+(** The [Ee_core.Synth.options] slice of a spec. *)
+
+val sim_config : spec -> Ee_sim.Sim.config
+(** The [Ee_sim.Sim.config] slice of a spec. *)
+
+val benchmarks : Ee_bench_circuits.Itc99.benchmark list
+(** The fifteen Table 3 circuits (re-export of [Itc99.all]). *)
+
+val find_benchmark : string -> (Ee_bench_circuits.Itc99.benchmark, string) Stdlib.result
+(** Lookup by id with a helpful error message. *)
+
+type result = {
+  artifact : Ee_report.Pipeline.artifact;
+  row : Ee_report.Tables.row;  (** The benchmark's Table 3 row. *)
+}
+
+val run : ?spec:spec -> ?trace:Trace.t -> Ee_bench_circuits.Itc99.benchmark -> result
+(** Synthesize and simulate one benchmark.  With [?trace], records one
+    span per stage ([rtl], [bit-blast], [pl-map], [ee-plan], [sim]). *)
+
+type suite = {
+  results : result list;  (** In benchmark order, independent of [domains]. *)
+  table3 : Ee_report.Tables.table3;
+  domains : int;  (** Pool size actually used. *)
+  wall_clock_s : float;  (** End-to-end suite wall-clock, seconds. *)
+}
+
+val run_suite :
+  ?spec:spec ->
+  ?trace:Trace.t ->
+  ?domains:int ->
+  ?benchmarks:Ee_bench_circuits.Itc99.benchmark list ->
+  unit ->
+  suite
+(** Run {!run} for every benchmark (default: all fifteen) on a pool of
+    [domains] workers (default 1 = sequential, deterministic ordering
+    either way).  Exceptions raised by any benchmark propagate with their
+    original backtrace. *)
+
+val stage_names : string list
+(** All stages a traced run records, in order:
+    [Pipeline.stage_names @ ["sim"]]. *)

@@ -1,0 +1,124 @@
+type span = {
+  name : string;
+  bench : string;
+  start_us : float;
+  dur_us : float;
+  domain : int;
+}
+
+type t = {
+  epoch : float;  (** Unix.gettimeofday at creation; spans are relative. *)
+  mutex : Mutex.t;
+  mutable recorded : span list;  (* reverse start order *)
+}
+
+let create () = { epoch = Unix.gettimeofday (); mutex = Mutex.create (); recorded = [] }
+
+let now_us t = (Unix.gettimeofday () -. t.epoch) *. 1e6
+
+let record t span = Mutex.protect t.mutex (fun () -> t.recorded <- span :: t.recorded)
+
+let with_span t ?(bench = "") name f =
+  let start_us = now_us t in
+  let domain = (Domain.self () :> int) in
+  Fun.protect
+    ~finally:(fun () ->
+      record t { name; bench; start_us; dur_us = now_us t -. start_us; domain })
+    f
+
+let spans t =
+  let rev = Mutex.protect t.mutex (fun () -> t.recorded) in
+  List.stable_sort (fun a b -> compare a.start_us b.start_us) (List.rev rev)
+
+type stage_stat = {
+  stage : string;
+  count : int;
+  total_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+let summary t =
+  let order = ref [] in
+  let acc : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let count, total, peak =
+        match Hashtbl.find_opt acc s.name with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0., ref 0.) in
+            Hashtbl.add acc s.name cell;
+            order := s.name :: !order;
+            cell
+      in
+      incr count;
+      total := !total +. s.dur_us;
+      peak := Float.max !peak s.dur_us)
+    (spans t);
+  List.rev_map
+    (fun stage ->
+      let count, total, peak = Hashtbl.find acc stage in
+      {
+        stage;
+        count = !count;
+        total_ms = !total /. 1e3;
+        mean_ms = !total /. 1e3 /. float_of_int (max 1 !count);
+        max_ms = !peak /. 1e3;
+      })
+    !order
+
+let summary_table t =
+  let stats = summary t in
+  let grand_total = List.fold_left (fun a s -> a +. s.total_ms) 0. stats in
+  let tbl =
+    Ee_util.Table.create
+      ~headers:[ "Stage"; "Calls"; "Total (ms)"; "Mean (ms)"; "Max (ms)"; "Share" ]
+  in
+  List.iter
+    (fun s ->
+      Ee_util.Table.add_row tbl
+        [
+          s.stage;
+          string_of_int s.count;
+          Printf.sprintf "%.2f" s.total_ms;
+          Printf.sprintf "%.3f" s.mean_ms;
+          Printf.sprintf "%.3f" s.max_ms;
+          Printf.sprintf "%.0f%%" (100. *. s.total_ms /. Float.max grand_total 1e-9);
+        ])
+    stats;
+  tbl
+
+(* Chrome trace_event JSON.  Stage and bench names are [a-z0-9-] here, but
+   escape anyway so arbitrary callers of [with_span] stay well-formed. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\
+            \"pid\":0,\"tid\":%d,\"args\":{\"bench\":\"%s\"}}"
+           (json_escape s.name) s.start_us s.dur_us s.domain (json_escape s.bench)))
+    (spans t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_chrome_json t file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json t))

@@ -1,0 +1,51 @@
+(** Per-stage spans for the synthesis engine.
+
+    A [Trace.t] is a thread-safe collector of timed spans.  The engine
+    opens one span per pipeline stage per benchmark ([rtl], [bit-blast],
+    [pl-map], [ee-plan], [sim]); the collector aggregates them into a
+    stage-level profile ({!summary}, printed by [ee_synth suite --profile])
+    and exports the raw spans as Chrome [trace_event] JSON
+    ({!to_chrome_json}), loadable in [chrome://tracing] or Perfetto. *)
+
+type span = {
+  name : string;  (** Stage name, e.g. ["bit-blast"]. *)
+  bench : string;  (** Benchmark id the stage ran for ([""] if none). *)
+  start_us : float;  (** Microseconds since the trace was created. *)
+  dur_us : float;
+  domain : int;  (** Id of the domain that ran the stage. *)
+}
+
+type t
+
+val create : unit -> t
+
+val with_span : t -> ?bench:string -> string -> (unit -> 'a) -> 'a
+(** [with_span trace ~bench name f] runs [f ()], recording a span around
+    it.  The span is recorded even when [f] raises.  Safe to call
+    concurrently from several domains. *)
+
+val spans : t -> span list
+(** All recorded spans, in start order. *)
+
+type stage_stat = {
+  stage : string;
+  count : int;
+  total_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+val summary : t -> stage_stat list
+(** One aggregate per distinct stage name, in first-seen order, plus the
+    share each stage contributed to the total traced time. *)
+
+val summary_table : t -> Ee_util.Table.t
+(** {!summary} rendered with the repo's table printer (the [--profile]
+    output). *)
+
+val to_chrome_json : t -> string
+(** Chrome [trace_event] format: one complete ("ph":"X") event per span,
+    [tid] = domain id, [args.bench] = benchmark id. *)
+
+val write_chrome_json : t -> string -> unit
+(** Write {!to_chrome_json} to a file. *)

@@ -1,7 +1,11 @@
 (** The full synthesis pipeline of the paper, from RTL benchmark to a pair
     of PL netlists (without and with early evaluation):
 
-    RTL → bit-blast → LUT4 map → PL map → EE post-processing. *)
+    RTL → bit-blast → LUT4 map → PL map → EE post-processing.
+
+    The staged entry point {!build_staged} lets a caller wrap every stage
+    (the hook {!Ee_engine.Trace} uses for per-stage spans); {!build} and
+    {!build_all} are thin wrappers kept for source compatibility. *)
 
 type artifact = {
   id : string;
@@ -13,10 +17,32 @@ type artifact = {
   synth_report : Ee_core.Synth.report;
 }
 
+type instrument = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+(** A polymorphic stage hook: [wrap stage f] must behave as [f ()]; it may
+    time, log or trace around the call. *)
+
+val no_instrument : instrument
+(** [wrap _ f = f ()]. *)
+
+val stage_names : string list
+(** The build stages, in execution order: ["rtl"; "bit-blast"; "pl-map";
+    "ee-plan"] (simulation is a separate stage owned by the caller). *)
+
+val build_staged :
+  ?options:Ee_core.Synth.options ->
+  ?instrument:instrument ->
+  Ee_bench_circuits.Itc99.benchmark ->
+  artifact
+(** Run the pipeline with each stage passed through [instrument]. *)
+
 val build : ?options:Ee_core.Synth.options -> Ee_bench_circuits.Itc99.benchmark -> artifact
+(** @deprecated New code should go through [Ee_engine.Engine.run], which
+    adds specs, tracing and parallel suites; [build] remains as the
+    un-instrumented core used by the engine itself. *)
 
 val build_all : ?options:Ee_core.Synth.options -> unit -> artifact list
-(** All fifteen Table 3 benchmarks. *)
+(** All fifteen Table 3 benchmarks, sequentially.
+    @deprecated Use [Ee_engine.Engine.run_suite] (parallel, instrumented). *)
 
 val check_live_safe : artifact -> (unit, string) result
 (** Marked-graph liveness and safety of both PL netlists. *)

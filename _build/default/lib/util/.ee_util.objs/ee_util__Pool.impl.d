@@ -1,0 +1,1 @@
+lib/util/pool.ml: Array Condition Domain Fun List Mutex Printexc Queue

@@ -1,0 +1,129 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a task = {
+  t_mutex : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_state : 'a state;
+}
+
+(* A queued closure has already been specialized to write into its own
+   task cell, so the queue itself is monomorphic. *)
+type t = {
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;  (* empty in inline mode *)
+  domains : int;
+}
+
+let size pool = pool.domains
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.q_mutex;
+    while Queue.is_empty pool.queue && not pool.closing do
+      Condition.wait pool.q_cond pool.q_mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | Some job ->
+        Mutex.unlock pool.q_mutex;
+        job ();
+        loop ()
+    | None ->
+        (* closing and drained *)
+        Mutex.unlock pool.q_mutex
+  in
+  loop ()
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 (min 64 d)
+    | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
+  in
+  let pool =
+    {
+      q_mutex = Mutex.create ();
+      q_cond = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+      domains;
+    }
+  in
+  if domains > 1 then
+    pool.workers <- Array.init domains (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let fresh_task () =
+  { t_mutex = Mutex.create (); t_cond = Condition.create (); t_state = Pending }
+
+let complete task outcome =
+  Mutex.lock task.t_mutex;
+  task.t_state <- outcome;
+  Condition.broadcast task.t_cond;
+  Mutex.unlock task.t_mutex
+
+let run_into task f =
+  let outcome =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  complete task outcome
+
+let submit pool f =
+  let task = fresh_task () in
+  if pool.domains = 1 then begin
+    if pool.closing then invalid_arg "Pool.submit: pool is shut down";
+    run_into task f
+  end
+  else begin
+    Mutex.lock pool.q_mutex;
+    if pool.closing then begin
+      Mutex.unlock pool.q_mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add (fun () -> run_into task f) pool.queue;
+    Condition.signal pool.q_cond;
+    Mutex.unlock pool.q_mutex
+  end;
+  task
+
+let await task =
+  let is_pending () = match task.t_state with Pending -> true | _ -> false in
+  Mutex.lock task.t_mutex;
+  while is_pending () do
+    Condition.wait task.t_cond task.t_mutex
+  done;
+  let state = task.t_state in
+  Mutex.unlock task.t_mutex;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown pool =
+  if pool.domains = 1 then pool.closing <- true
+  else begin
+    Mutex.lock pool.q_mutex;
+    let already = pool.closing in
+    pool.closing <- true;
+    Condition.broadcast pool.q_cond;
+    Mutex.unlock pool.q_mutex;
+    if not already then Array.iter Domain.join pool.workers
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map pool f xs =
+  let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
+  List.map await tasks
+
+let run ?domains f xs = with_pool ?domains (fun pool -> map pool f xs)

@@ -1,0 +1,52 @@
+(** A small fixed-size work pool of OCaml 5 [Domain]s.
+
+    Tasks are closures submitted to a shared queue; [domains] worker
+    domains drain it.  Results come back through {!await}, which re-raises
+    (with the original backtrace) any exception the task raised, so error
+    behaviour is identical to calling the closure inline.
+
+    With [~domains:1] no domain is spawned at all: tasks run inline at
+    {!submit} time, in submission order, on the calling domain.  This is
+    the deterministic fallback used by the test-suite and by callers that
+    must not perturb global state concurrently.
+
+    {!map} preserves input ordering regardless of the completion order of
+    the workers, so parallel runs are result-identical to sequential
+    ones whenever the tasks themselves are pure. *)
+
+type t
+(** A pool handle.  Use one pool per batch of related work and
+    {!shutdown} it (or use {!with_pool}) when done. *)
+
+type 'a task
+(** An in-flight (or inline-completed) task. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains, or none at all
+    when [domains = 1] (inline mode).  [domains] defaults to
+    {!Domain.recommended_domain_count}[ ()] and is clamped to [1 .. 64]. *)
+
+val size : t -> int
+(** The [domains] value the pool was created with (after clamping). *)
+
+val submit : t -> (unit -> 'a) -> 'a task
+(** Enqueue a closure.  Raises [Invalid_argument] after {!shutdown}.
+    On a [~domains:1] pool the closure runs before [submit] returns. *)
+
+val await : 'a task -> 'a
+(** Block until the task completes; return its value or re-raise its
+    exception with the original backtrace. *)
+
+val shutdown : t -> unit
+(** Wait for queued tasks to finish and join the worker domains.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool down
+    even if [f] raises. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with deterministic (input-order) results. *)
+
+val run : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool (fun p -> map p f xs)]. *)

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Ee_bench_circuits Ee_core Ee_engine Ee_report Ee_sim Ee_util Fun List Printf String

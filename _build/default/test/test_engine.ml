@@ -1,0 +1,177 @@
+(* The parallel engine: pool semantics, sequential/parallel result
+   identity, and trace output. *)
+
+module Pool = Ee_util.Pool
+module Engine = Ee_engine.Engine
+module Trace = Ee_engine.Trace
+
+exception Boom of int
+
+let test_pool_map_order () =
+  List.iter
+    (fun domains ->
+      let xs = List.init 40 Fun.id in
+      let ys = Pool.run ~domains (fun x -> x * x) xs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order, %d domains" domains)
+        (List.map (fun x -> x * x) xs)
+        ys)
+    [ 1; 3; 4 ]
+
+let test_pool_exception () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "exception propagates, %d domains" domains)
+        (Boom 7)
+        (fun () -> ignore (Pool.run ~domains (fun x -> if x = 7 then raise (Boom x) else x) [ 1; 7 ]));
+      (* The pool survives a failing task: later submissions still work. *)
+      Pool.with_pool ~domains (fun p ->
+          let bad = Pool.submit p (fun () -> raise (Boom 1)) in
+          let good = Pool.submit p (fun () -> 42) in
+          Alcotest.(check int) "task after failure" 42 (Pool.await good);
+          match Pool.await bad with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom 1 -> ()))
+    [ 1; 4 ]
+
+let test_pool_submit_after_shutdown () =
+  let p = Pool.create ~domains:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+let small_spec = Engine.default_spec |> Engine.with_vectors 5 |> Engine.with_seed 11
+
+let test_suite_parallel_matches_sequential () =
+  let s1 = Engine.run_suite ~spec:small_spec ~domains:1 () in
+  let s4 = Engine.run_suite ~spec:small_spec ~domains:4 () in
+  Alcotest.(check int) "15 benchmarks" 15 (List.length s1.Engine.results);
+  Alcotest.(check bool) "table3 records identical" true (s1.Engine.table3 = s4.Engine.table3);
+  (* Byte-identical rendered rows, not just structural equality. *)
+  let render s = Ee_util.Table.to_csv (Ee_report.Tables.table3_to_table s.Engine.table3) in
+  Alcotest.(check string) "rendered Table 3 identical" (render s1) (render s4)
+
+let test_run_matches_legacy_pipeline () =
+  let b = Ee_bench_circuits.Itc99.find "b04" in
+  let spec = small_spec |> Engine.with_threshold 50. in
+  let r = Engine.run ~spec b in
+  let legacy =
+    Ee_report.Pipeline.build ~options:(Engine.synth_options spec) b
+  in
+  let legacy_row =
+    Ee_report.Tables.row_of_artifact ~vectors:5 ~seed:11 ~config:(Engine.sim_config spec) legacy
+  in
+  Alcotest.(check bool) "row matches legacy call chain" true (r.Engine.row = legacy_row)
+
+let test_trace_spans () =
+  let trace = Trace.create () in
+  let b = Ee_bench_circuits.Itc99.find "b09" in
+  ignore (Engine.run ~spec:small_spec ~trace b);
+  let spans = Trace.spans trace in
+  Alcotest.(check (list string))
+    "one span per stage, in order" Engine.stage_names
+    (List.map (fun s -> s.Trace.name) spans);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check string) "span bench id" "b09" s.Trace.bench;
+      Alcotest.(check bool) "non-negative duration" true (s.Trace.dur_us >= 0.))
+    spans;
+  let stats = Trace.summary trace in
+  Alcotest.(check int) "summary has one stat per stage" (List.length Engine.stage_names)
+    (List.length stats)
+
+(* A structural well-formedness check over the Chrome JSON: balanced
+   braces/brackets outside strings, one event object per span, and the
+   mandatory trace_event keys present. *)
+let check_json_balanced json =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then Alcotest.fail "unbalanced JSON"
+        | _ -> ())
+    json;
+  Alcotest.(check int) "balanced JSON nesting" 0 !depth;
+  Alcotest.(check bool) "no unterminated string" false !in_string
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go from acc =
+    if from + n > String.length hay then acc
+    else if String.sub hay from n = needle then go (from + 1) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
+let test_trace_chrome_json () =
+  let trace = Trace.create () in
+  let suite =
+    Engine.run_suite ~spec:small_spec ~trace ~domains:2
+      ~benchmarks:
+        [ Ee_bench_circuits.Itc99.find "b01"; Ee_bench_circuits.Itc99.find "b06" ]
+      ()
+  in
+  Alcotest.(check int) "two results" 2 (List.length suite.Engine.results);
+  let json = Trace.to_chrome_json trace in
+  check_json_balanced json;
+  Alcotest.(check bool) "has traceEvents" true
+    (count_substring json "\"traceEvents\"" = 1);
+  let expected_events = 2 * List.length Engine.stage_names in
+  Alcotest.(check int) "one complete event per span" expected_events
+    (count_substring json "\"ph\":\"X\"");
+  List.iter
+    (fun stage ->
+      Alcotest.(check int)
+        (Printf.sprintf "stage %s appears per benchmark" stage)
+        2
+        (count_substring json (Printf.sprintf "\"name\":\"%s\"" stage)))
+    Engine.stage_names
+
+let test_spec_builders () =
+  let spec =
+    Engine.default_spec
+    |> Engine.with_threshold 80.
+    |> Engine.with_coverage_only true
+    |> Engine.with_min_coverage 25.
+    |> Engine.with_share_triggers true
+    |> Engine.with_vectors 7
+    |> Engine.with_seed 3
+    |> Engine.with_gate_delay 2.
+    |> Engine.with_ee_overhead 0.5
+  in
+  let o = Engine.synth_options spec in
+  Alcotest.(check (float 0.)) "threshold" 80. o.Ee_core.Synth.threshold;
+  Alcotest.(check bool) "coverage-only weighting" true
+    (o.Ee_core.Synth.weighting = Ee_core.Cost.Coverage_only);
+  Alcotest.(check (float 0.)) "min coverage" 25. o.Ee_core.Synth.min_coverage;
+  Alcotest.(check bool) "share triggers" true o.Ee_core.Synth.share_triggers;
+  let c = Engine.sim_config spec in
+  Alcotest.(check (float 0.)) "gate delay" 2. c.Ee_sim.Sim.gate_delay;
+  Alcotest.(check (float 0.)) "ee overhead" 0.5 c.Ee_sim.Sim.ee_overhead;
+  Alcotest.(check int) "vectors" 7 spec.Engine.vectors;
+  Alcotest.(check int) "seed" 3 spec.Engine.seed
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "pool: map preserves order" `Quick test_pool_map_order;
+      Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exception;
+      Alcotest.test_case "pool: submit after shutdown" `Quick test_pool_submit_after_shutdown;
+      Alcotest.test_case "suite: 4 domains == sequential" `Slow test_suite_parallel_matches_sequential;
+      Alcotest.test_case "run == legacy Pipeline+Tables chain" `Quick test_run_matches_legacy_pipeline;
+      Alcotest.test_case "trace: one span per stage" `Quick test_trace_spans;
+      Alcotest.test_case "trace: Chrome JSON well-formed" `Quick test_trace_chrome_json;
+      Alcotest.test_case "spec builders" `Quick test_spec_builders;
+    ] )

@@ -1,18 +1,45 @@
 (* The area/delay trade-off curve of cost thresholding, on the two
-   processor benchmarks (the largest circuits of Table 3). *)
+   processor benchmarks (the largest circuits of Table 3).
+
+   Each threshold point is an independent Engine.run, so the sweep fans
+   out over an Ee_util.Pool of domains — the engine's spec builders
+   replace the old hand-threaded ?options/~vectors/~seed plumbing. *)
+
+module Engine = Ee_engine.Engine
+
+let thresholds = [ 0.; 25.; 50.; 100.; 200.; 400.; 800.; 1600. ]
 
 let () =
+  let domains = max 2 (Domain.recommended_domain_count ()) in
   List.iter
     (fun id ->
       let b = Ee_bench_circuits.Itc99.find id in
       Printf.printf "%s — %s\n" b.Ee_bench_circuits.Itc99.id
         b.Ee_bench_circuits.Itc99.description;
-      let points =
-        Ee_report.Sweep.run ~vectors:100 ~seed:2002
-          ~thresholds:[ 0.; 25.; 50.; 100.; 200.; 400.; 800.; 1600. ]
-          b
+      let rows =
+        Ee_util.Pool.run ~domains
+          (fun threshold ->
+            let spec = Engine.default_spec |> Engine.with_threshold threshold in
+            (threshold, (Engine.run ~spec b).Engine.row))
+          thresholds
       in
-      Ee_util.Table.print (Ee_report.Sweep.to_table points);
+      let t =
+        Ee_util.Table.create
+          ~headers:
+            [ "Threshold"; "EE Gates"; "% Area Increase"; "Avg Delay"; "% Delay Decrease" ]
+      in
+      List.iter
+        (fun (threshold, (r : Ee_report.Tables.row)) ->
+          Ee_util.Table.add_row t
+            [
+              Printf.sprintf "%.0f" threshold;
+              string_of_int r.Ee_report.Tables.ee_gates;
+              Printf.sprintf "%.0f%%" r.Ee_report.Tables.area_increase;
+              Printf.sprintf "%.2f" r.Ee_report.Tables.delay_ee;
+              Printf.sprintf "%.1f%%" r.Ee_report.Tables.delay_decrease;
+            ])
+        rows;
+      Ee_util.Table.print t;
       print_newline ())
     [ "b14"; "b15" ];
   print_endline "Reading the curve: at threshold 0 all profitable pairs are inserted";
