@@ -478,6 +478,36 @@ let print_engine () =
   Printf.printf "wrote BENCH_engine.json\n";
   if not rows_match then exit 1
 
+(* Fault-injection campaigns: sweep the standard fault list over a few
+   benchmarks and check that nothing silently mis-computes under the
+   adversarial delay schedules.  The dangerous class is wrong-output; the
+   v-rail stuck-ats that land there are precisely the faults LEDR encoding
+   cannot witness locally. *)
+
+let print_faults () =
+  section "Robustness: fault-injection campaigns (Ee_fault.Campaign)";
+  Printf.printf "(16 waves per fault, seed %d; faults per Fault.enumerate)\n\n" seed;
+  List.iter
+    (fun id ->
+      let b = Ee_bench_circuits.Itc99.find id in
+      let a = Ee_report.Pipeline.build b in
+      let r =
+        Ee_fault.Campaign.run ~waves:16 ~seed ~bench:id a.Ee_report.Pipeline.pl_ee
+          a.Ee_report.Pipeline.netlist
+      in
+      print_endline (Ee_fault.Campaign.summary_string r))
+    [ "b01"; "b04"; "b06" ];
+  let b01 = Ee_report.Pipeline.build (Ee_bench_circuits.Itc99.find "b01") in
+  let pl = b01.Ee_report.Pipeline.pl_ee in
+  let gates = Array.length (Ee_phased.Pl.gates pl) in
+  let audits = Ee_fault.Campaign.token_audit pl ~steps:(50 * gates) ~seed in
+  let count p = List.length (List.filter (fun a -> p a.Ee_fault.Campaign.verdict) audits) in
+  Printf.printf "b01 token audit: %d corruptions -> %d deadlocked, %d unsafe, %d survived\n"
+    (List.length audits)
+    (count (function Ee_fault.Campaign.Audit_dead _ -> true | _ -> false))
+    (count (function Ee_fault.Campaign.Audit_unsafe _ -> true | _ -> false))
+    (count (( = ) Ee_fault.Campaign.Audit_live))
+
 (* Bechamel micro-benchmarks: one Test.make per paper table plus the core
    algorithm kernels. *)
 
@@ -546,7 +576,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults";
           ])
       args
   in
@@ -563,6 +593,7 @@ let () =
     print_table2 ();
     print_table3 ~csv:(has "--csv") ();
     print_engine ();
+    print_faults ();
     print_sweep ();
     print_ablation_cost ();
     print_stream ();
@@ -586,6 +617,7 @@ let () =
     | Some other -> Printf.eprintf "unknown table %s\n" other
     | None -> ());
     if has "--engine" then print_engine ();
+    if has "--faults" then print_faults ();
     if has "--sweep" then print_sweep ();
     if has "--ablation-cost" then print_ablation_cost ();
     if has "--stream" then print_stream ();

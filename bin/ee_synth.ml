@@ -4,7 +4,8 @@
    ee_synth run b04 [--threshold T] ...  synthesize + simulate one circuit
    ee_synth suite [--jobs N] ...         all 15 benchmarks on a domain pool
    ee_synth inspect b04 [--dot FILE]     netlist/PL statistics and exports
-   ee_synth check b04                    marked-graph liveness/safety proof *)
+   ee_synth check b04                    marked-graph liveness/safety proof
+   ee_synth faults b04 [--json FILE]     fault-injection campaign *)
 
 open Cmdliner
 module Engine = Ee_engine.Engine
@@ -92,12 +93,24 @@ let suite_cmd =
           ~doc:"Write Chrome trace_event JSON (load in chrome://tracing or Perfetto).")
   in
   let csv_t = Arg.(value & flag & info [ "csv" ] ~doc:"Also print the table as CSV.") in
-  let run threshold coverage_only vectors seed jobs profile trace_file csv =
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-benchmark deadline: a benchmark with no result in time is reported as an \
+             error row instead of hanging the suite.")
+  in
+  let run threshold coverage_only vectors seed jobs profile trace_file csv deadline_s =
     let spec = spec_of threshold coverage_only vectors seed in
     let trace =
       if profile || trace_file <> None then Some (Trace.create ()) else None
     in
-    let s = Engine.run_suite ~spec ?trace ~domains:jobs () in
+    let s = Engine.run_suite ~spec ?trace ~domains:jobs ?deadline_s () in
+    List.iter
+      (fun f -> Printf.eprintf "ee_synth: benchmark failed: %s\n" (Engine.failure_to_string f))
+      (Engine.failures s);
     let t = Ee_report.Tables.table3_to_table s.Engine.table3 in
     Ee_util.Table.print t;
     Printf.printf "\nAverage speedup %.1f%%, average area increase %.0f%% (%d vectors, seed %d).\n"
@@ -121,12 +134,13 @@ let suite_cmd =
                 Printf.eprintf "ee_synth: cannot write trace: %s\n" msg;
                 exit 1)
           trace_file)
-      trace
+      trace;
+    if Engine.failures s <> [] then exit 1
   in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
       const run $ threshold_t $ coverage_only_t $ vectors_t $ seed_t $ jobs_t $ profile_t
-      $ trace_t $ csv_t)
+      $ trace_t $ csv_t $ deadline_t)
 
 let inspect_cmd =
   let doc = "Print statistics; optionally export DOT renderings." in
@@ -218,6 +232,73 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ bench_pos $ threshold_t $ coverage_only_t $ vectors_t $ seed_t)
 
+let faults_cmd =
+  let doc =
+    "Fault-injection campaign: inject stuck rails, glitches, trigger corruption and token \
+     loss/duplication into the rail-level simulator and classify every outcome."
+  in
+  let waves_t =
+    Arg.(value & opt int 16 & info [ "waves" ] ~docv:"N" ~doc:"Input waves per fault run.")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report as JSON.")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write one CSV line per fault.")
+  in
+  let audit_t =
+    Arg.(value & flag & info [ "token-audit" ] ~doc:"Also corrupt the marked-graph marking arc by arc.")
+  in
+  let write file text =
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  in
+  let run bench threshold coverage_only waves seed json csv audit =
+    let options = options_of threshold coverage_only in
+    let a = Ee_report.Pipeline.build ~options bench in
+    let pl = a.Ee_report.Pipeline.pl_ee and nl = a.Ee_report.Pipeline.netlist in
+    let r = Ee_fault.Campaign.run ~waves ~seed ~bench:a.Ee_report.Pipeline.id pl nl in
+    print_endline (Ee_fault.Campaign.summary_string r);
+    List.iter
+      (fun (s : Ee_fault.Campaign.schedule_check) ->
+        Printf.printf "  schedule %-14s %-8s (%d early firings)\n" s.Ee_fault.Campaign.schedule
+          (if s.Ee_fault.Campaign.agrees then "agrees" else "MISMATCH")
+          s.Ee_fault.Campaign.early_total)
+      r.Ee_fault.Campaign.schedules;
+    List.iter
+      (fun (rec_ : Ee_fault.Campaign.record) ->
+        match rec_.Ee_fault.Campaign.outcome with
+        | Ee_fault.Campaign.Wrong_output _ as o ->
+            Printf.printf "  WRONG OUTPUT: %s — %s\n"
+              (Ee_fault.Fault.to_string rec_.Ee_fault.Campaign.fault)
+              (Ee_fault.Campaign.outcome_detail o)
+        | _ -> ())
+      r.Ee_fault.Campaign.records;
+    if audit then begin
+      let gates = Array.length (Ee_phased.Pl.gates pl) in
+      let audits = Ee_fault.Campaign.token_audit pl ~steps:(50 * gates) ~seed in
+      let count p = List.length (List.filter p audits) in
+      Printf.printf
+        "  token audit over %d corruptions: %d deadlocked, %d unsafe, %d survived\n"
+        (List.length audits)
+        (count (fun a -> match a.Ee_fault.Campaign.verdict with Ee_fault.Campaign.Audit_dead _ -> true | _ -> false))
+        (count (fun a -> match a.Ee_fault.Campaign.verdict with Ee_fault.Campaign.Audit_unsafe _ -> true | _ -> false))
+        (count (fun a -> a.Ee_fault.Campaign.verdict = Ee_fault.Campaign.Audit_live))
+    end;
+    Option.iter (fun file -> write file (Ee_fault.Campaign.to_json r)) json;
+    Option.iter (fun file -> write file (Ee_fault.Campaign.to_csv r)) csv;
+    if r.Ee_fault.Campaign.wrong_output > 0
+       || List.exists (fun (s : Ee_fault.Campaign.schedule_check) -> not s.Ee_fault.Campaign.agrees)
+            r.Ee_fault.Campaign.schedules
+    then exit 1
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ bench_pos $ threshold_t $ coverage_only_t $ waves_t $ seed_t $ json_t
+      $ csv_t $ audit_t)
+
 let check_cmd =
   let doc = "Verify marked-graph liveness and safety of the PL mapping (with and without EE)." in
   let run bench =
@@ -235,6 +316,6 @@ let check_cmd =
 let main =
   let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "ee_synth" ~doc)
-    [ list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd ]
+    [ list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

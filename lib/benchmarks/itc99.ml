@@ -522,4 +522,7 @@ let all =
     { id = "b15"; description = "80386 processor (subset)"; build = b15 };
   ]
 
-let find id = List.find (fun b -> b.id = id) all
+let find id =
+  match List.find_opt (fun b -> b.id = id) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Itc99.find: unknown benchmark %S (ids are b01..b15)" id)

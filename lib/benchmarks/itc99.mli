@@ -63,4 +63,5 @@ val all : benchmark list
 (** The fifteen circuits in Table 3 order. *)
 
 val find : string -> benchmark
-(** Lookup by id ("b01" … "b15").  Raises [Not_found]. *)
+(** Lookup by id.  Raises [Invalid_argument] naming the unknown id and the
+    valid range ("b01" … "b15"). *)

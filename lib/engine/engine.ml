@@ -76,8 +76,19 @@ let run ?(spec = default_spec) ?trace (b : Itc99.benchmark) =
   in
   { artifact; row }
 
+type failure = {
+  failed_bench : string;
+  reason : string;
+  timed_out : bool;
+}
+
+let failure_to_string f =
+  Printf.sprintf "%s: %s%s" f.failed_bench
+    (if f.timed_out then "deadline exceeded — " else "")
+    f.reason
+
 type suite = {
-  results : result list;
+  results : (result, failure) Stdlib.result list;
   table3 : Tables.table3;
   domains : int;
   wall_clock_s : float;
@@ -93,15 +104,49 @@ let table3_of_rows rows =
       List.fold_left (fun acc r -> acc +. r.Tables.delay_decrease) 0. rows /. n;
   }
 
-let run_suite ?(spec = default_spec) ?trace ?(domains = 1) ?(benchmarks = benchmarks) () =
+let ok_results suite = List.filter_map Result.to_option suite.results
+
+let failures suite =
+  List.filter_map (function Ok _ -> None | Error f -> Some f) suite.results
+
+let run_suite ?(spec = default_spec) ?trace ?(domains = 1) ?deadline_s
+    ?(benchmarks = benchmarks) () =
+  (match deadline_s with
+  | Some d when d <= 0. -> invalid_arg "Engine.run_suite: deadline_s must be positive"
+  | _ -> ());
   let t0 = Unix.gettimeofday () in
-  let results =
-    Ee_util.Pool.run ~domains (fun b -> run ~spec ?trace b) benchmarks
+  (* With a deadline the tasks must run off the awaiting domain, otherwise a
+     hung benchmark hangs [submit] itself before any await can give up. *)
+  let pool = Ee_util.Pool.create ~force_spawn:(deadline_s <> None) ~domains () in
+  let tasks =
+    List.map (fun b -> (b, Ee_util.Pool.submit pool (fun () -> run ~spec ?trace b))) benchmarks
   in
+  let hung = ref false in
+  let results =
+    List.map
+      (fun (b, task) ->
+        let fail ~timed_out reason =
+          Error { failed_bench = b.Itc99.id; reason; timed_out }
+        in
+        match deadline_s with
+        | None -> (
+            match Ee_util.Pool.try_await task with
+            | Ok r -> Ok r
+            | Error (e, _) -> fail ~timed_out:false (Printexc.to_string e))
+        | Some timeout_s -> (
+            match Ee_util.Pool.await_timeout task ~timeout_s with
+            | Ok r -> Ok r
+            | Error (`Failed (e, _)) -> fail ~timed_out:false (Printexc.to_string e)
+            | Error `Timed_out ->
+                hung := true;
+                fail ~timed_out:true
+                  (Printf.sprintf "no result within %gs deadline" timeout_s)))
+      tasks
+  in
+  (* A hung worker would block [shutdown]'s join forever. *)
+  if !hung then Ee_util.Pool.abandon pool else Ee_util.Pool.shutdown pool;
   let wall_clock_s = Unix.gettimeofday () -. t0 in
-  {
-    results;
-    table3 = table3_of_rows (List.map (fun r -> r.row) results);
-    domains = max 1 (min 64 domains);
-    wall_clock_s;
-  }
+  let suite =
+    { results; table3 = table3_of_rows []; domains = max 1 (min 64 domains); wall_clock_s }
+  in
+  { suite with table3 = table3_of_rows (List.map (fun r -> r.row) (ok_results suite)) }

@@ -66,24 +66,49 @@ val run : ?spec:spec -> ?trace:Trace.t -> Ee_bench_circuits.Itc99.benchmark -> r
 (** Synthesize and simulate one benchmark.  With [?trace], records one
     span per stage ([rtl], [bit-blast], [pl-map], [ee-plan], [sim]). *)
 
+type failure = {
+  failed_bench : string;  (** Benchmark id that failed. *)
+  reason : string;  (** Exception text, or the deadline that expired. *)
+  timed_out : bool;  (** True when the benchmark hit the suite deadline. *)
+}
+
+val failure_to_string : failure -> string
+
 type suite = {
-  results : result list;  (** In benchmark order, independent of [domains]. *)
-  table3 : Ee_report.Tables.table3;
+  results : (result, failure) Stdlib.result list;
+      (** In benchmark order, independent of [domains].  A crashing or
+          hanging benchmark degrades to an [Error] row; its siblings'
+          results are unaffected. *)
+  table3 : Ee_report.Tables.table3;  (** Computed over the [Ok] rows only. *)
   domains : int;  (** Pool size actually used. *)
   wall_clock_s : float;  (** End-to-end suite wall-clock, seconds. *)
 }
+
+val ok_results : suite -> result list
+
+val failures : suite -> failure list
 
 val run_suite :
   ?spec:spec ->
   ?trace:Trace.t ->
   ?domains:int ->
+  ?deadline_s:float ->
   ?benchmarks:Ee_bench_circuits.Itc99.benchmark list ->
   unit ->
   suite
 (** Run {!run} for every benchmark (default: all fifteen) on a pool of
     [domains] workers (default 1 = sequential, deterministic ordering
-    either way).  Exceptions raised by any benchmark propagate with their
-    original backtrace. *)
+    either way).  A benchmark that raises becomes an [Error] row carrying
+    the exception text — it never unwinds the suite.
+
+    [?deadline_s] additionally bounds how long each benchmark may keep the
+    suite waiting: a benchmark with no result [deadline_s] seconds after
+    its await turn is reported as a [timed_out] error row and its worker
+    domain is abandoned rather than joined (OCaml domains cannot be
+    killed, so the hung computation leaks until process exit).  With a
+    deadline, workers are spawned even for [domains = 1]; prefer
+    [domains >= 2] so one hung benchmark does not stall the others'
+    queue.  Raises [Invalid_argument] on a non-positive deadline. *)
 
 val stage_names : string list
 (** All stages a traced run records, in order:

@@ -1,0 +1,238 @@
+module Pl = Ee_phased.Pl
+module Rail_sim = Ee_phased.Rail_sim
+module Netlist = Ee_netlist.Netlist
+module Mg = Ee_markedgraph.Marked_graph
+module Delay_model = Ee_sim.Delay_model
+module Prng = Ee_util.Prng
+
+type outcome =
+  | Masked
+  | Detected of string
+  | Deadlock of Rail_sim.stall
+  | Wrong_output of { wave : int }
+
+let outcome_class = function
+  | Masked -> "masked"
+  | Detected _ -> "detected"
+  | Deadlock _ -> "deadlock"
+  | Wrong_output _ -> "wrong-output"
+
+let outcome_detail = function
+  | Masked -> ""
+  | Detected msg -> msg
+  | Deadlock s -> Rail_sim.stall_to_string s
+  | Wrong_output { wave } -> Printf.sprintf "first output mismatch at wave %d" wave
+
+type record = { fault : Fault.t; outcome : outcome }
+
+type schedule_check = { schedule : string; agrees : bool; early_total : int }
+
+type report = {
+  bench : string;
+  pl_gates : int;
+  waves : int;
+  seed : int;
+  records : record list;
+  schedules : schedule_check list;
+  masked : int;
+  detected : int;
+  deadlock : int;
+  wrong_output : int;
+}
+
+let make_vectors ~width ~waves ~seed =
+  let rng = Prng.create seed in
+  List.init waves (fun _ -> Prng.bool_vector rng width)
+
+let golden nl vectors =
+  let st = ref (Netlist.initial_state nl) in
+  List.map
+    (fun vec ->
+      let outs, st' = Netlist.step nl !st vec in
+      st := st';
+      outs)
+    vectors
+
+let run_fault pl ~vectors ~expected fault =
+  let sim = Rail_sim.create ~hooks:(Fault.hooks fault) pl in
+  let rec go wave vecs exps =
+    match (vecs, exps) with
+    | [], [] -> Masked
+    | vec :: vecs', exp :: exps' -> (
+        match Rail_sim.apply sim vec with
+        | outs, _ -> if outs <> exp then Wrong_output { wave } else go (wave + 1) vecs' exps'
+        | exception Rail_sim.Protocol_violation msg -> Detected msg
+        | exception Rail_sim.Stalled s -> Deadlock s)
+    | _ -> assert false
+  in
+  go 0 vectors expected
+
+(* The adversarial schedules, quantized into Rail_sim round delays.  Unit
+   delay is the reference; the others reorder firings as hostilely as the
+   model allows.  A delay-insensitive netlist must produce identical
+   outputs under all of them. *)
+let schedules pl ~seed =
+  [
+    ("unit", None);
+    ( "adversarial-ee",
+      Some
+        (Delay_model.rounds_of_delays
+           (Delay_model.adversarial_ee pl ~gate_delay:1.0 ~slowdown:4.0)
+           ~resolution:3) );
+    ( "extremal",
+      Some
+        (Delay_model.rounds_of_delays
+           (Delay_model.extremal pl ~gate_delay:1.0 ~spread:0.5 ~seed)
+           ~resolution:4) );
+    ( "jittered",
+      Some
+        (Delay_model.rounds_of_delays
+           (Delay_model.jittered pl ~gate_delay:1.0 ~spread:0.75 ~seed)
+           ~resolution:4) );
+  ]
+
+let check_schedules pl ~vectors ~expected ~seed =
+  List.map
+    (fun (schedule, delays) ->
+      let sim = Rail_sim.create ?delays pl in
+      let early_total = ref 0 in
+      let agrees =
+        List.for_all2
+          (fun vec exp ->
+            let outs, early = Rail_sim.apply sim vec in
+            early_total := !early_total + early;
+            outs = exp)
+          vectors expected
+      in
+      { schedule; agrees; early_total = !early_total })
+    (schedules pl ~seed)
+
+let run ?(waves = 16) ?(seed = 2002) ~bench pl nl =
+  let width = Array.length (Pl.source_ids pl) in
+  let vectors = make_vectors ~width ~waves ~seed in
+  let expected = golden nl vectors in
+  let records =
+    List.map
+      (fun fault -> { fault; outcome = run_fault pl ~vectors ~expected fault })
+      (Fault.enumerate pl ~waves)
+  in
+  let count cls =
+    List.length (List.filter (fun r -> outcome_class r.outcome = cls) records)
+  in
+  {
+    bench;
+    pl_gates = Array.length (Pl.gates pl);
+    waves;
+    seed;
+    records;
+    schedules = check_schedules pl ~vectors ~expected ~seed;
+    masked = count "masked";
+    detected = count "detected";
+    deadlock = count "deadlock";
+    wrong_output = count "wrong-output";
+  }
+
+(* Marked-graph-level token audit: corrupt the initial marking one arc at a
+   time and let the token game plus the deadlock forensics explain what the
+   corruption does to the abstract machine. *)
+
+type token_verdict = Audit_live | Audit_dead of Mg.deadlock | Audit_unsafe of int
+
+type token_audit = { arc : int; delta : int; verdict : token_verdict }
+
+let token_audit ?(max_arcs = 64) pl ~steps ~seed =
+  let mg = Pl.to_marked_graph pl in
+  let arcs = Mg.arcs mg in
+  let n = Array.length arcs in
+  let stride = max 1 (n / max_arcs) in
+  let audits = ref [] in
+  let audit arc delta =
+    let m = Mg.initial_marking mg in
+    Mg.adjust_tokens m ~arc ~delta;
+    let rng = Prng.create (seed + arc) in
+    let verdict =
+      match Mg.run_token_game_from mg m ~steps ~rng with
+      | `Ok _ -> Audit_live
+      | `Dead dm -> Audit_dead (Mg.diagnose mg dm)
+      | `Unsafe (a, _) -> Audit_unsafe a
+    in
+    audits := { arc; delta; verdict } :: !audits
+  in
+  let picked = ref 0 in
+  Array.iteri
+    (fun a (_, _, tok) ->
+      if a mod stride = 0 && !picked < max_arcs then begin
+        incr picked;
+        if tok > 0 then audit a (-1);
+        audit a 1
+      end)
+    arcs;
+  List.rev !audits
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n  \"bench\": \"%s\",\n  \"pl_gates\": %d,\n  \"waves\": %d,\n  \"seed\": %d,\n"
+    (json_escape r.bench) r.pl_gates r.waves r.seed;
+  Printf.bprintf b
+    "  \"summary\": { \"faults\": %d, \"masked\": %d, \"detected\": %d, \"deadlock\": %d, \"wrong_output\": %d },\n"
+    (List.length r.records) r.masked r.detected r.deadlock r.wrong_output;
+  Printf.bprintf b "  \"schedules\": [";
+  List.iteri
+    (fun i s ->
+      Printf.bprintf b "%s\n    { \"schedule\": \"%s\", \"agrees\": %b, \"early_firings\": %d }"
+        (if i = 0 then "" else ",")
+        (json_escape s.schedule) s.agrees s.early_total)
+    r.schedules;
+  Printf.bprintf b "\n  ],\n  \"faults\": [";
+  List.iteri
+    (fun i rec_ ->
+      Printf.bprintf b "%s\n    { \"fault\": \"%s\", \"class\": \"%s\", \"detail\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (json_escape (Fault.to_string rec_.fault))
+        (outcome_class rec_.outcome)
+        (json_escape (outcome_detail rec_.outcome)))
+    r.records;
+  Printf.bprintf b "\n  ]\n}\n";
+  Buffer.contents b
+
+let csv_escape s =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "bench,fault,class,detail\n";
+  List.iter
+    (fun rec_ ->
+      Printf.bprintf b "%s,%s,%s,%s\n" (csv_escape r.bench)
+        (csv_escape (Fault.to_string rec_.fault))
+        (outcome_class rec_.outcome)
+        (csv_escape (outcome_detail rec_.outcome)))
+    r.records;
+  Buffer.contents b
+
+let summary_string r =
+  Printf.sprintf
+    "%-6s %5d gates %5d faults | masked %5d  detected %5d  deadlock %5d  wrong-output %d | schedules %s"
+    r.bench r.pl_gates (List.length r.records) r.masked r.detected r.deadlock r.wrong_output
+    (if List.for_all (fun s -> s.agrees) r.schedules then "ok"
+     else
+       "MISMATCH:"
+       ^ String.concat ","
+           (List.filter_map (fun s -> if s.agrees then None else Some s.schedule) r.schedules))

@@ -200,6 +200,29 @@ let initial_marking t = Array.copy t.toks
 
 let tokens m a = m.(a)
 
+let marking_array m = Array.copy m
+
+let marking_of_array t a =
+  if Array.length a <> arc_count t then
+    invalid_arg
+      (Printf.sprintf "Marked_graph.marking_of_array: %d counts for %d arcs" (Array.length a)
+         (arc_count t));
+  Array.iteri
+    (fun i k ->
+      if k < 0 then
+        invalid_arg (Printf.sprintf "Marked_graph.marking_of_array: arc %d negative" i))
+    a;
+  Array.copy a
+
+let adjust_tokens m ~arc ~delta =
+  if arc < 0 || arc >= Array.length m then
+    invalid_arg (Printf.sprintf "Marked_graph.adjust_tokens: arc %d out of range" arc);
+  let next = m.(arc) + delta in
+  if next < 0 then
+    invalid_arg
+      (Printf.sprintf "Marked_graph.adjust_tokens: arc %d would hold %d tokens" arc next);
+  m.(arc) <- next
+
 let enabled t m v = List.for_all (fun a -> m.(a) > 0) t.in_arcs.(v)
 
 let fire t m v =
@@ -214,19 +237,83 @@ let enabled_nodes t m =
   done;
   !out
 
-let run_token_game t ~steps ~rng =
-  let m = initial_marking t in
+(* A directed cycle all of whose arcs are token-free under [m]: the
+   structural cause of a deadlock (the nodes on it wait on each other
+   forever).  DFS over the token-free sub-graph, reconstructing the cycle
+   from the recursion stack. *)
+let token_free_cycle t m =
+  let state = Array.make t.nodes 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let parent_arc = Array.make t.nodes (-1) in
+  let found = ref None in
+  let rec visit v =
+    state.(v) <- 1;
+    List.iter
+      (fun a ->
+        if !found = None && m.(a) = 0 then begin
+          let w = t.dsts.(a) in
+          if state.(w) = 1 then begin
+            (* Walk back from v to w along parent arcs. *)
+            let rec back u acc = if u = w then acc else
+              let pa = parent_arc.(u) in
+              back t.srcs.(pa) (t.srcs.(pa) :: acc)
+            in
+            found := Some (back v [ v ])
+          end
+          else if state.(w) = 0 then begin
+            parent_arc.(w) <- a;
+            visit w
+          end
+        end)
+      t.out_arcs.(v);
+    state.(v) <- 2
+  in
+  for v = 0 to t.nodes - 1 do
+    if !found = None && state.(v) = 0 then visit v
+  done;
+  !found
+
+type deadlock = {
+  dead_marking : int array;  (** Tokens per arc when the game stalled. *)
+  dead_enabled : int list;  (** Nodes still enabled (empty for a true deadlock). *)
+  dead_cycle : int list;  (** A token-free directed cycle to blame, [] if none. *)
+}
+
+let diagnose t m =
+  {
+    dead_marking = Array.copy m;
+    dead_enabled = enabled_nodes t m;
+    dead_cycle = (match token_free_cycle t m with Some c -> c | None -> []);
+  }
+
+let deadlock_to_string d =
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Printf.sprintf "deadlock: %d tokens left; enabled=[%s]; token-free cycle=[%s]"
+    (Array.fold_left ( + ) 0 d.dead_marking)
+    (ints d.dead_enabled) (ints d.dead_cycle)
+
+let game t m ~check_initial ~steps ~rng =
   let counts = Array.make t.nodes 0 in
   let result = ref None in
+  let flag_unsafe () =
+    Array.iteri
+      (fun a k -> if k > 1 && !result = None then result := Some (`Unsafe (a, (Array.copy m : marking))))
+      m
+  in
+  if check_initial then flag_unsafe ();
   let step = ref 0 in
   while !result = None && !step < steps do
     (match enabled_nodes t m with
-    | [] -> result := Some `Dead
+    | [] -> result := Some (`Dead (Array.copy m : marking))
     | en ->
         let v = List.nth en (Ee_util.Prng.int rng (List.length en)) in
         fire t m v;
         counts.(v) <- counts.(v) + 1;
-        Array.iteri (fun a k -> if k > 1 && !result = None then result := Some (`Unsafe a)) m);
+        flag_unsafe ());
     incr step
   done;
   match !result with Some r -> r | None -> `Ok counts
+
+let run_token_game t ~steps ~rng = game t (initial_marking t) ~check_initial:false ~steps ~rng
+
+let run_token_game_from t m ~steps ~rng = game t m ~check_initial:true ~steps ~rng

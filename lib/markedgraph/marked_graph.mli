@@ -61,6 +61,20 @@ val initial_marking : t -> marking
 
 val tokens : marking -> int -> int
 
+val marking_array : marking -> int array
+(** Snapshot of the token counts, in arc order (a copy). *)
+
+val marking_of_array : t -> int array -> marking
+(** Inverse of {!marking_array}: a marking from explicit per-arc counts
+    (used by forensics layers that reconstruct a marking from simulator
+    state).  Raises [Invalid_argument] on length mismatch or negative
+    counts. *)
+
+val adjust_tokens : marking -> arc:int -> delta:int -> unit
+(** Fault injection: add or remove tokens on one arc, bypassing the firing
+    rule (token duplication / token loss).  Raises [Invalid_argument] if the
+    arc index is out of range or the count would go negative. *)
+
 val enabled : t -> marking -> int -> bool
 (** A node is enabled when every incoming arc holds at least one token. *)
 
@@ -70,7 +84,37 @@ val fire : t -> marking -> int -> unit
 val enabled_nodes : t -> marking -> int list
 
 val run_token_game : t -> steps:int -> rng:Ee_util.Prng.t ->
-  [ `Ok of int array | `Unsafe of int | `Dead ]
+  [ `Ok of int array | `Unsafe of int * marking | `Dead of marking ]
 (** Fire random enabled nodes for [steps] steps.  Returns firing counts,
-    [`Unsafe arc] the first time an arc exceeds one token, or [`Dead] if no
-    node is enabled (impossible in a live graph). *)
+    [`Unsafe (arc, marking)] the first time an arc exceeds one token, or
+    [`Dead marking] if no node is enabled (impossible in a live graph).
+    Both failure tags carry the marking at the moment of failure so the
+    caller can run {!diagnose} on it. *)
+
+val run_token_game_from : t -> marking -> steps:int -> rng:Ee_util.Prng.t ->
+  [ `Ok of int array | `Unsafe of int * marking | `Dead of marking ]
+(** Like {!run_token_game} but starting from an arbitrary (e.g. corrupted)
+    marking, which is mutated in place.  The initial marking is itself
+    checked for safety, so an injected duplicate token is reported before
+    any firing. *)
+
+(** {1 Deadlock forensics} *)
+
+val token_free_cycle : t -> marking -> int list option
+(** A directed cycle (as a node list, in order) all of whose arcs carry
+    zero tokens under the marking — the structural reason no token can ever
+    return to those nodes.  [None] when every cycle still holds a token. *)
+
+type deadlock = {
+  dead_marking : int array;  (** Tokens per arc when the game stalled. *)
+  dead_enabled : int list;  (** Nodes still enabled (empty for a true deadlock). *)
+  dead_cycle : int list;  (** A token-free directed cycle to blame, [] if none. *)
+}
+
+val diagnose : t -> marking -> deadlock
+(** Explain a stalled marking: which nodes could still fire, and which
+    token-free cycle starves the rest.  The node ids are PL gate ids when
+    the graph came from [Ee_phased.Pl.to_marked_graph], so the report names
+    the gates responsible. *)
+
+val deadlock_to_string : deadlock -> string

@@ -74,9 +74,12 @@ let eval_round t =
   end
   else false
 
+exception Unstable of { rounds : int; gate_phase : Ledr.phase; inputs : Ledr.rails array }
+
 let settle t =
   let rec go rounds =
-    if rounds > 8 then failwith "Cell.settle: oscillation"
+    if rounds > 8 then
+      raise (Unstable { rounds; gate_phase = gate_phase t; inputs = Array.copy t.ins })
     else if eval_round t then go (rounds + 1)
     else rounds
   in

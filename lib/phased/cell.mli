@@ -24,11 +24,16 @@ val inputs : t -> Ledr.rails array
 
 val set_input : t -> int -> Ledr.rails -> unit
 
+exception Unstable of { rounds : int; gate_phase : Ledr.phase; inputs : Ledr.rails array }
+(** The cell's components kept switching past the structural bound.  The
+    payload snapshots the Muller-C state and input rails at the moment the
+    bound tripped, so the offending stimulus can be named.  Cannot happen
+    for valid LEDR stimuli. *)
+
 val settle : t -> int
 (** Evaluate components until no internal signal changes; returns the
     number of evaluation rounds (0 when already stable).  Raises
-    [Failure] if the cell oscillates (cannot happen for valid LEDR
-    stimuli). *)
+    {!Unstable} if the cell oscillates. *)
 
 val output : t -> Ledr.rails
 (** The latched LEDR output pair. *)

@@ -15,3 +15,34 @@ let fanin_loaded pl ~gate_delay ~per_input =
   Array.map
     (fun g -> gate_delay +. (per_input *. float_of_int (max 0 (Array.length g.Pl.fanin - 1))))
     (Pl.gates pl)
+
+let adversarial_ee pl ~gate_delay ~slowdown =
+  if slowdown < 1. then invalid_arg "Delay_model.adversarial_ee: slowdown must be >= 1";
+  let gates = Pl.gates pl in
+  let n = Array.length gates in
+  (* Transitive fanin cone of every trigger gate (the support paths). *)
+  let in_cone = Array.make n false in
+  let rec mark i =
+    if not in_cone.(i) then begin
+      in_cone.(i) <- true;
+      Array.iter mark gates.(i).Pl.fanin
+    end
+  in
+  Array.iteri (fun i g -> match g.Pl.kind with Pl.Trigger _ -> mark i | _ -> ()) gates;
+  Array.init n (fun i ->
+      match gates.(i).Pl.kind with
+      | Pl.Gate _ when not in_cone.(i) -> gate_delay *. slowdown
+      | _ -> gate_delay)
+
+let extremal pl ~gate_delay ~spread ~seed =
+  if spread < 0. || spread >= 1. then invalid_arg "Delay_model.extremal: spread in [0,1)";
+  let rng = Ee_util.Prng.create seed in
+  Array.map
+    (fun _ -> gate_delay *. (if Ee_util.Prng.bool rng then 1. +. spread else 1. -. spread))
+    (Pl.gates pl)
+
+let rounds_of_delays d ~resolution =
+  if resolution <= 0 then invalid_arg "Delay_model.rounds_of_delays: resolution must be positive";
+  let lo = Array.fold_left min infinity d in
+  if not (lo > 0.) then invalid_arg "Delay_model.rounds_of_delays: delays must be positive";
+  Array.map (fun x -> int_of_float (Float.round ((x /. lo -. 1.) *. float_of_int resolution))) d

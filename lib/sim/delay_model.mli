@@ -17,3 +17,28 @@ val jittered : Ee_phased.Pl.t -> gate_delay:float -> spread:float -> seed:int ->
 val fanin_loaded : Ee_phased.Pl.t -> gate_delay:float -> per_input:float -> float array
 (** [gate_delay + per_input * (fanin count - 1)]: wider gates are slower,
     the first-order loading model. *)
+
+(** {1 Adversarial schedules}
+
+    Delay-insensitivity quantifies over {e all} delay assignments; these
+    schedules pick the hostile corners of that space for the fault
+    campaigns ([Ee_fault.Campaign]). *)
+
+val adversarial_ee : Ee_phased.Pl.t -> gate_delay:float -> slowdown:float -> float array
+(** The worst case for early evaluation: every gate on a trigger's
+    transitive support cone (and the triggers themselves) keeps
+    [gate_delay], every other combinational gate is slowed by [slowdown]
+    (>= 1).  Triggers fire as early as possible while late inputs arrive
+    as late as possible, maximizing the window in which an EE master holds
+    a value its late inputs have not yet justified. *)
+
+val extremal : Ee_phased.Pl.t -> gate_delay:float -> spread:float -> seed:int -> float array
+(** Each gate independently at one corner of the delay cube,
+    [gate_delay * (1 - spread)] or [gate_delay * (1 + spread)],
+    deterministically from the seed.  [0 <= spread < 1]. *)
+
+val rounds_of_delays : float array -> resolution:int -> int array
+(** Quantize a float schedule into the integer round delays of
+    [Rail_sim.create ~delays]: the fastest gate maps to 0 extra rounds and
+    a gate [k] times slower to [(k - 1) * resolution] rounds (rounded).
+    Raises [Invalid_argument] on a non-positive resolution or delay. *)

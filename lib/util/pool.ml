@@ -39,7 +39,7 @@ let worker pool () =
   in
   loop ()
 
-let create ?domains () =
+let create ?(force_spawn = false) ?domains () =
   let domains =
     match domains with
     | Some d -> max 1 (min 64 d)
@@ -55,9 +55,11 @@ let create ?domains () =
       domains;
     }
   in
-  if domains > 1 then
+  if domains > 1 || force_spawn then
     pool.workers <- Array.init domains (fun _ -> Domain.spawn (worker pool));
   pool
+
+let inline_mode pool = Array.length pool.workers = 0
 
 let fresh_task () =
   { t_mutex = Mutex.create (); t_cond = Condition.create (); t_state = Pending }
@@ -78,7 +80,7 @@ let run_into task f =
 
 let submit pool f =
   let task = fresh_task () in
-  if pool.domains = 1 then begin
+  if inline_mode pool then begin
     if pool.closing then invalid_arg "Pool.submit: pool is shut down";
     run_into task f
   end
@@ -107,8 +109,35 @@ let await task =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
 
+let try_await task =
+  match await task with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+let await_timeout task ~timeout_s =
+  if timeout_s < 0. then invalid_arg "Pool.await_timeout: negative timeout";
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  (* Mutex/Condition have no timed wait in the stdlib, so poll with
+     exponential backoff (1ms .. 50ms); completion latency is bounded by
+     the backoff cap, not the timeout. *)
+  let rec poll sleep =
+    Mutex.lock task.t_mutex;
+    let state = task.t_state in
+    Mutex.unlock task.t_mutex;
+    match state with
+    | Done v -> Ok v
+    | Failed (e, bt) -> Error (`Failed (e, bt))
+    | Pending ->
+        if Unix.gettimeofday () >= deadline then Error `Timed_out
+        else begin
+          Unix.sleepf sleep;
+          poll (Float.min 0.05 (sleep *. 2.))
+        end
+  in
+  poll 0.001
+
 let shutdown pool =
-  if pool.domains = 1 then pool.closing <- true
+  if inline_mode pool then pool.closing <- true
   else begin
     Mutex.lock pool.q_mutex;
     let already = pool.closing in
@@ -117,6 +146,13 @@ let shutdown pool =
     Mutex.unlock pool.q_mutex;
     if not already then Array.iter Domain.join pool.workers
   end
+
+let abandon pool =
+  Mutex.lock pool.q_mutex;
+  pool.closing <- true;
+  Queue.clear pool.queue;
+  Condition.broadcast pool.q_cond;
+  Mutex.unlock pool.q_mutex
 
 let with_pool ?domains f =
   let pool = create ?domains () in

@@ -21,10 +21,15 @@ type t
 type 'a task
 (** An in-flight (or inline-completed) task. *)
 
-val create : ?domains:int -> unit -> t
+val create : ?force_spawn:bool -> ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains] worker domains, or none at all
     when [domains = 1] (inline mode).  [domains] defaults to
-    {!Domain.recommended_domain_count}[ ()] and is clamped to [1 .. 64]. *)
+    {!Domain.recommended_domain_count}[ ()] and is clamped to [1 .. 64].
+
+    [~force_spawn:true] spawns a worker even for [domains = 1], so tasks
+    never run on the calling domain.  Required when the caller wants
+    {!await_timeout} to be able to give up on a hung task: in inline mode
+    the task runs (and hangs) inside {!submit} itself. *)
 
 val size : t -> int
 (** The [domains] value the pool was created with (after clamping). *)
@@ -37,9 +42,34 @@ val await : 'a task -> 'a
 (** Block until the task completes; return its value or re-raise its
     exception with the original backtrace. *)
 
+val try_await : 'a task -> ('a, exn * Printexc.raw_backtrace) result
+(** Like {!await} but captures a task failure as a value instead of
+    re-raising, so one crashing task in a batch cannot unwind the
+    caller past its siblings. *)
+
+val await_timeout :
+  'a task ->
+  timeout_s:float ->
+  ('a, [ `Failed of exn * Printexc.raw_backtrace | `Timed_out ]) result
+(** Like {!try_await} with a per-task deadline: [Error `Timed_out] once
+    [timeout_s] seconds elapse with the task still pending.  The task
+    itself is {e not} cancelled — OCaml domains cannot be killed — so a
+    timed-out task may still be burning a worker; see {!abandon}.
+    Polls (OCaml's [Condition] has no timed wait), so resolution is
+    ~50 ms.  Raises [Invalid_argument] on a negative timeout. *)
+
 val shutdown : t -> unit
 (** Wait for queued tasks to finish and join the worker domains.
     Idempotent. *)
+
+val abandon : t -> unit
+(** Emergency shutdown for a pool with hung workers: drop all queued
+    tasks, refuse new submissions, wake idle workers so they exit — and
+    do {e not} join, because a worker stuck in a non-terminating task
+    would block the join forever.  Hung worker domains leak until
+    process exit; pending tasks never complete (an {!await} on one
+    would hang — use {!await_timeout}).  Use {!shutdown} whenever every
+    task is known to terminate. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] creates a pool, applies [f], and shuts the pool down

@@ -24,8 +24,10 @@ let test_find () =
   Alcotest.(check string) "find b07" "Count points on a straight line"
     (Itc99.find "b07").Itc99.description;
   match Itc99.find "b99" with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found"
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "error names the id"
+        "Itc99.find: unknown benchmark \"b99\" (ids are b01..b15)" msg
+  | _ -> Alcotest.fail "expected Invalid_argument"
 
 let test_relative_sizes () =
   (* The paper's size ordering must be respected qualitatively: the tiny

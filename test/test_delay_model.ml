@@ -84,6 +84,56 @@ let test_ee_survives_jitter () =
         true (ee < base))
     [ 0.; 0.2; 0.4 ]
 
+let test_adversarial_ee () =
+  let _, _, pl_ee = pl_pair "b04" in
+  let d = Dm.adversarial_ee pl_ee ~gate_delay:1.0 ~slowdown:4.0 in
+  Array.iteri
+    (fun i g ->
+      match g.Pl.kind with
+      | Pl.Gate _ ->
+          Alcotest.(check bool) "gate at base or slowed corner" true
+            (abs_float (d.(i) -. 1.0) < 1e-9 || abs_float (d.(i) -. 4.0) < 1e-9)
+      | _ -> Alcotest.(check (float 1e-9)) "non-Gate kinds keep gate_delay" 1.0 d.(i))
+    (Pl.gates pl_ee);
+  Alcotest.(check bool) "off-cone gates are slowed" true (Array.exists (fun x -> x > 3.9) d);
+  (* Every direct fanin of a trigger is on its support cone, hence fast. *)
+  Array.iter
+    (fun g ->
+      match g.Pl.kind with
+      | Pl.Trigger _ ->
+          Array.iter
+            (fun f -> Alcotest.(check (float 1e-9)) "trigger cone keeps gate_delay" 1.0 d.(f))
+            g.Pl.fanin
+      | _ -> ())
+    (Pl.gates pl_ee);
+  match Dm.adversarial_ee pl_ee ~gate_delay:1.0 ~slowdown:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected slowdown validation"
+
+let test_extremal () =
+  let _, pl, _ = pl_pair "b05" in
+  let d = Dm.extremal pl ~gate_delay:2.0 ~spread:0.25 ~seed:9 in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "at a corner of the delay cube" true
+        (abs_float (x -. 1.5) < 1e-9 || abs_float (x -. 2.5) < 1e-9))
+    d;
+  Alcotest.(check bool) "both corners occupied" true
+    (Array.exists (fun x -> x < 2.) d && Array.exists (fun x -> x > 2.) d);
+  Alcotest.(check bool) "deterministic in the seed" true
+    (Dm.extremal pl ~gate_delay:2.0 ~spread:0.25 ~seed:9 = d)
+
+let test_rounds_of_delays () =
+  Alcotest.(check (array int)) "fastest gate maps to zero extra rounds"
+    [| 0; 2; 6; 0 |]
+    (Dm.rounds_of_delays [| 1.0; 2.0; 4.0; 1.0 |] ~resolution:2);
+  (match Dm.rounds_of_delays [| 0.0; 1.0 |] ~resolution:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected positive-delay validation");
+  match Dm.rounds_of_delays [| 1.0 |] ~resolution:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected resolution validation"
+
 let suite =
   ( "delay-model",
     [
@@ -93,4 +143,7 @@ let suite =
       Alcotest.test_case "fanin loading" `Quick test_fanin_loaded;
       Alcotest.test_case "values unaffected" `Quick test_values_unaffected_by_delays;
       Alcotest.test_case "EE survives jitter" `Quick test_ee_survives_jitter;
+      Alcotest.test_case "adversarial EE schedule" `Quick test_adversarial_ee;
+      Alcotest.test_case "extremal corners" `Quick test_extremal;
+      Alcotest.test_case "rounds quantization" `Quick test_rounds_of_delays;
     ] )

@@ -7,6 +7,15 @@ module Trace = Ee_engine.Trace
 
 exception Boom of int
 
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go from acc =
+    if from + n > String.length hay then acc
+    else if String.sub hay from n = needle then go (from + 1) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
 let test_pool_map_order () =
   List.iter
     (fun domains ->
@@ -43,7 +52,80 @@ let test_pool_submit_after_shutdown () =
   | _ -> Alcotest.fail "submit after shutdown should raise"
   | exception Invalid_argument _ -> ()
 
+let test_pool_try_await () =
+  Pool.with_pool ~domains:2 (fun p ->
+      let good = Pool.submit p (fun () -> 41) in
+      let bad = Pool.submit p (fun () -> raise (Boom 3)) in
+      Alcotest.(check int) "ok result" 41 (Result.get_ok (Pool.try_await good));
+      match Pool.try_await bad with
+      | Error (Boom 3, _) -> ()
+      | Error _ -> Alcotest.fail "wrong exception captured"
+      | Ok _ -> Alcotest.fail "expected captured failure")
+
+let test_pool_await_timeout () =
+  (* force_spawn: the hung task must run off the awaiting domain even with
+     domains = 1, or submit itself would hang. *)
+  let p = Pool.create ~force_spawn:true ~domains:1 () in
+  let quick = Pool.submit p (fun () -> 7) in
+  (match Pool.await_timeout quick ~timeout_s:5.0 with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "fast task should complete inside the deadline");
+  let hung = Pool.submit p (fun () -> Unix.sleepf 30.0) in
+  let t0 = Unix.gettimeofday () in
+  (match Pool.await_timeout hung ~timeout_s:0.3 with
+  | Error `Timed_out -> ()
+  | _ -> Alcotest.fail "expected timeout");
+  Alcotest.(check bool) "gave up promptly" true (Unix.gettimeofday () -. t0 < 5.0);
+  (* Abandon must not join the hung worker, and must refuse new work. *)
+  Pool.abandon p;
+  match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after abandon should raise"
+  | exception Invalid_argument _ -> ()
+
 let small_spec = Engine.default_spec |> Engine.with_vectors 5 |> Engine.with_seed 11
+
+let fake_bench id build =
+  { Ee_bench_circuits.Itc99.id; description = "synthetic failure-path benchmark"; build }
+
+let test_suite_isolates_crash () =
+  let crash = fake_bench "crash" (fun () -> failwith "synthetic crash") in
+  let benchmarks =
+    [ Ee_bench_circuits.Itc99.find "b01"; crash; Ee_bench_circuits.Itc99.find "b06" ]
+  in
+  let s = Engine.run_suite ~spec:small_spec ~domains:2 ~benchmarks () in
+  Alcotest.(check int) "one row per benchmark" 3 (List.length s.Engine.results);
+  Alcotest.(check int) "two benchmarks survive" 2 (List.length (Engine.ok_results s));
+  (match s.Engine.results with
+  | [ Ok _; Error f; Ok _ ] ->
+      Alcotest.(check string) "failure names the benchmark" "crash" f.Engine.failed_bench;
+      Alcotest.(check bool) "failure carries the exception text" true
+        (count_substring f.Engine.reason "synthetic crash" = 1);
+      Alcotest.(check bool) "a crash is not a timeout" false f.Engine.timed_out
+  | _ -> Alcotest.fail "rows must stay in benchmark order with the crash isolated");
+  Alcotest.(check int) "table3 averages over surviving rows only" 2
+    (List.length s.Engine.table3.Ee_report.Tables.rows)
+
+let test_suite_deadline_on_hung_benchmark () =
+  let hang =
+    fake_bench "hang"
+      (fun () ->
+        Unix.sleepf 60.0;
+        assert false)
+  in
+  let benchmarks =
+    [ Ee_bench_circuits.Itc99.find "b01"; Ee_bench_circuits.Itc99.find "b06"; hang ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let s = Engine.run_suite ~spec:small_spec ~domains:2 ~deadline_s:1.0 ~benchmarks () in
+  Alcotest.(check bool) "suite returns despite the hung benchmark" true
+    (Unix.gettimeofday () -. t0 < 30.0);
+  Alcotest.(check int) "one row per benchmark" 3 (List.length s.Engine.results);
+  (match Engine.failures s with
+  | [ f ] ->
+      Alcotest.(check string) "hung benchmark reported" "hang" f.Engine.failed_bench;
+      Alcotest.(check bool) "flagged as a deadline overrun" true f.Engine.timed_out
+  | fs -> Alcotest.fail (Printf.sprintf "expected exactly the hung row, got %d failures" (List.length fs)));
+  Alcotest.(check int) "healthy benchmarks unaffected" 2 (List.length (Engine.ok_results s))
 
 let test_suite_parallel_matches_sequential () =
   let s1 = Engine.run_suite ~spec:small_spec ~domains:1 () in
@@ -106,15 +188,6 @@ let check_json_balanced json =
   Alcotest.(check int) "balanced JSON nesting" 0 !depth;
   Alcotest.(check bool) "no unterminated string" false !in_string
 
-let count_substring hay needle =
-  let n = String.length needle in
-  let rec go from acc =
-    if from + n > String.length hay then acc
-    else if String.sub hay from n = needle then go (from + 1) (acc + 1)
-    else go (from + 1) acc
-  in
-  go 0 0
-
 let test_trace_chrome_json () =
   let trace = Trace.create () in
   let suite =
@@ -169,6 +242,11 @@ let suite =
       Alcotest.test_case "pool: map preserves order" `Quick test_pool_map_order;
       Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exception;
       Alcotest.test_case "pool: submit after shutdown" `Quick test_pool_submit_after_shutdown;
+      Alcotest.test_case "pool: try_await captures failures" `Quick test_pool_try_await;
+      Alcotest.test_case "pool: await_timeout gives up on hung tasks" `Quick test_pool_await_timeout;
+      Alcotest.test_case "suite: crash degrades to an error row" `Quick test_suite_isolates_crash;
+      Alcotest.test_case "suite: deadline bounds a hung benchmark" `Quick
+        test_suite_deadline_on_hung_benchmark;
       Alcotest.test_case "suite: 4 domains == sequential" `Slow test_suite_parallel_matches_sequential;
       Alcotest.test_case "run == legacy Pipeline+Tables chain" `Quick test_run_matches_legacy_pipeline;
       Alcotest.test_case "trace: one span per stage" `Quick test_trace_spans;

@@ -1,0 +1,246 @@
+(* Fault-injection campaigns: classification taxonomy, schedule
+   insensitivity of the fault-free netlist, and marked-graph token
+   forensics. *)
+
+module Fault = Ee_fault.Fault
+module Campaign = Ee_fault.Campaign
+module Pl = Ee_phased.Pl
+module Rail_sim = Ee_phased.Rail_sim
+module Netlist = Ee_netlist.Netlist
+module Mg = Ee_markedgraph.Marked_graph
+
+let artifact id = Ee_report.Pipeline.build (Ee_bench_circuits.Itc99.find id)
+
+let vectors_and_golden nl ~width ~waves ~seed =
+  let rng = Ee_util.Prng.create seed in
+  let vectors = List.init waves (fun _ -> Ee_util.Prng.bool_vector rng width) in
+  let st = ref (Netlist.initial_state nl) in
+  let expected =
+    List.map
+      (fun vec ->
+        let outs, st' = Netlist.step nl !st vec in
+        st := st';
+        outs)
+      vectors
+  in
+  (vectors, expected)
+
+(* Acceptance: every enumerated fault gets a class, the classes partition
+   the fault list, and the fault-free netlist agrees with the golden model
+   under every adversarial delay schedule (zero wrong-output without an
+   injected fault). *)
+let test_campaign_classifies_everything () =
+  List.iter
+    (fun id ->
+      let a = artifact id in
+      let pl = a.Ee_report.Pipeline.pl_ee in
+      let r = Campaign.run ~waves:10 ~seed:5 ~bench:id pl a.Ee_report.Pipeline.netlist in
+      Alcotest.(check int)
+        (id ^ ": every enumerated fault classified")
+        (List.length (Fault.enumerate pl ~waves:10))
+        (List.length r.Campaign.records);
+      Alcotest.(check int)
+        (id ^ ": classes partition the fault list")
+        (List.length r.Campaign.records)
+        (r.Campaign.masked + r.Campaign.detected + r.Campaign.deadlock + r.Campaign.wrong_output);
+      Alcotest.(check int) (id ^ ": all four schedules ran") 4 (List.length r.Campaign.schedules);
+      List.iter
+        (fun (s : Campaign.schedule_check) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: schedule %s agrees with golden model" id s.Campaign.schedule)
+            true s.Campaign.agrees)
+        r.Campaign.schedules)
+    [ "b01"; "b03"; "b06" ]
+
+(* The paper's netlists detect or starve on rail faults; only v-rail
+   faults at the output boundary can silently mis-compute.  b01 has
+   none; b04 has some, and the campaign must find them. *)
+let test_wrong_output_class () =
+  let a = artifact "b01" in
+  let r =
+    Campaign.run ~waves:16 ~seed:2002 ~bench:"b01" a.Ee_report.Pipeline.pl_ee
+      a.Ee_report.Pipeline.netlist
+  in
+  Alcotest.(check int) "b01 has no silent corruption" 0 r.Campaign.wrong_output;
+  let a4 = artifact "b04" in
+  let r4 =
+    Campaign.run ~waves:16 ~seed:2002 ~bench:"b04" a4.Ee_report.Pipeline.pl_ee
+      a4.Ee_report.Pipeline.netlist
+  in
+  Alcotest.(check bool) "b04 exposes silent v-rail corruption" true (r4.Campaign.wrong_output > 0);
+  List.iter
+    (fun (rec_ : Campaign.record) ->
+      match rec_.Campaign.outcome with
+      | Campaign.Wrong_output _ -> (
+          match rec_.Campaign.fault with
+          | Fault.Stuck_rail { rail = Fault.V; _ } | Fault.Glitch_rail { rail = Fault.V; _ } -> ()
+          | f ->
+              Alcotest.fail
+                ("only v-rail faults may corrupt silently, got " ^ Fault.to_string f))
+      | _ -> ())
+    r4.Campaign.records
+
+(* Direct taxonomy checks on single faults. *)
+let first_gate_with_comb_consumer pl =
+  let gates = Pl.gates pl in
+  let has_comb_consumer i =
+    Array.exists
+      (fun g ->
+        match g.Pl.kind with
+        | Pl.Gate _ | Pl.Trigger _ | Pl.Register _ -> Array.mem i g.Pl.fanin
+        | _ -> false)
+      gates
+  in
+  let rec find i =
+    if i >= Array.length gates then Alcotest.fail "no internal gate found"
+    else
+      match gates.(i).Pl.kind with
+      | Pl.Gate _ when has_comb_consumer i -> i
+      | _ -> find (i + 1)
+  in
+  find 0
+
+let test_single_fault_taxonomy () =
+  let a = artifact "b06" in
+  let pl = a.Ee_report.Pipeline.pl_ee in
+  let width = Array.length (Pl.source_ids pl) in
+  let vectors, expected =
+    vectors_and_golden a.Ee_report.Pipeline.netlist ~width ~waves:8 ~seed:3
+  in
+  let gate = first_gate_with_comb_consumer pl in
+  (match Campaign.run_fault pl ~vectors ~expected (Fault.Token_dup { gate; wave = 2 }) with
+  | Campaign.Detected _ -> ()
+  | o -> Alcotest.fail ("token dup should be detected, got " ^ Campaign.outcome_class o));
+  (match Campaign.run_fault pl ~vectors ~expected (Fault.Token_loss { gate; wave = 2 }) with
+  | Campaign.Deadlock s ->
+      Alcotest.(check int) "stalls in the faulted wave" 2 s.Rail_sim.stall_wave;
+      Alcotest.(check bool) "forensics name the dropped gate as a root" true
+        (List.mem gate s.Rail_sim.roots)
+  | o -> Alcotest.fail ("token loss should deadlock, got " ^ Campaign.outcome_class o));
+  (* Glitching one wire of one transition either cancels the legal flip
+     (starvation, with a token-free cycle to blame) or adds a second flip
+     (detected breach) — one of each across the two rails. *)
+  let glitch rail = Campaign.run_fault pl ~vectors ~expected (Fault.Glitch_rail { gate; rail; wave = 2 }) in
+  (match (glitch Fault.V, glitch Fault.T) with
+  | Campaign.Detected _, Campaign.Deadlock s | Campaign.Deadlock s, Campaign.Detected _ ->
+      Alcotest.(check bool) "stale source named" true (List.mem gate s.Rail_sim.stale_sources);
+      Alcotest.(check bool) "token-free cycle found" true (s.Rail_sim.blamed_cycle <> [])
+  | a, b ->
+      Alcotest.fail
+        (Printf.sprintf "glitch pair should be detected+deadlock, got %s/%s"
+           (Campaign.outcome_class a) (Campaign.outcome_class b)))
+
+let test_trigger_suppression_harmless () =
+  let a = artifact "b01" in
+  let pl = a.Ee_report.Pipeline.pl_ee in
+  let width = Array.length (Pl.source_ids pl) in
+  let vectors, expected =
+    vectors_and_golden a.Ee_report.Pipeline.netlist ~width ~waves:8 ~seed:3
+  in
+  let masters =
+    List.filter (fun i -> Pl.ee pl i <> None)
+      (List.init (Array.length (Pl.gates pl)) Fun.id)
+  in
+  Alcotest.(check bool) "b01 has EE masters" true (masters <> []);
+  List.iter
+    (fun master ->
+      List.iter
+        (fun wave ->
+          match
+            Campaign.run_fault pl ~vectors ~expected
+              (Fault.Trigger_corrupt { master; wave; forced = false })
+          with
+          | Campaign.Masked -> ()
+          | o ->
+              Alcotest.fail
+                (Printf.sprintf "suppressing EE on master %d must be harmless, got %s" master
+                   (Campaign.outcome_class o)))
+        [ 0; 3 ])
+    masters
+
+let test_token_audit () =
+  let a = artifact "b01" in
+  let pl = a.Ee_report.Pipeline.pl_ee in
+  let steps = 50 * Array.length (Pl.gates pl) in
+  let audits = Campaign.token_audit pl ~steps ~seed:3 in
+  Alcotest.(check bool) "audited some arcs" true (List.length audits > 10);
+  let losses = List.filter (fun (x : Campaign.token_audit) -> x.Campaign.delta = -1) audits in
+  let dups = List.filter (fun (x : Campaign.token_audit) -> x.Campaign.delta = 1) audits in
+  Alcotest.(check bool) "some losses and some dups" true (losses <> [] && dups <> []);
+  List.iter
+    (fun (x : Campaign.token_audit) ->
+      match x.Campaign.verdict with
+      | Campaign.Audit_dead d ->
+          Alcotest.(check bool) "a true deadlock: nothing enabled" true (d.Mg.dead_enabled = []);
+          Alcotest.(check bool) "forensics blame a token-free cycle" true (d.Mg.dead_cycle <> [])
+      | Campaign.Audit_unsafe _ -> Alcotest.fail "token loss cannot create a duplicate"
+      | Campaign.Audit_live -> Alcotest.fail "token loss must starve the graph")
+    losses;
+  List.iter
+    (fun (x : Campaign.token_audit) ->
+      match x.Campaign.verdict with
+      | Campaign.Audit_unsafe _ -> ()
+      | _ -> Alcotest.fail "duplicate token must trip the safety check")
+    dups
+
+(* Structural well-formedness of the JSON/CSV reports. *)
+let check_json_balanced json =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then Alcotest.fail "unbalanced JSON"
+        | _ -> ())
+    json;
+  Alcotest.(check int) "balanced JSON nesting" 0 !depth;
+  Alcotest.(check bool) "no unterminated string" false !in_string
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go from acc =
+    if from + n > String.length hay then acc
+    else if String.sub hay from n = needle then go (from + 1) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
+let test_report_rendering () =
+  let a = artifact "b06" in
+  let r =
+    Campaign.run ~waves:8 ~seed:5 ~bench:"b06" a.Ee_report.Pipeline.pl_ee
+      a.Ee_report.Pipeline.netlist
+  in
+  let json = Campaign.to_json r in
+  check_json_balanced json;
+  Alcotest.(check int) "one class field per fault record"
+    (List.length r.Campaign.records)
+    (count_substring json "\"class\":");
+  Alcotest.(check int) "four schedule objects" 4 (count_substring json "\"schedule\":");
+  let csv = Campaign.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header plus one CSV line per fault"
+    (1 + List.length r.Campaign.records)
+    (List.length lines)
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "campaign classifies every fault; schedules agree" `Quick
+        test_campaign_classifies_everything;
+      Alcotest.test_case "wrong-output class is exactly v-rail faults" `Slow
+        test_wrong_output_class;
+      Alcotest.test_case "single-fault taxonomy" `Quick test_single_fault_taxonomy;
+      Alcotest.test_case "suppressing EE triggers is harmless" `Quick
+        test_trigger_suppression_harmless;
+      Alcotest.test_case "token audit: loss starves, dup trips safety" `Quick test_token_audit;
+      Alcotest.test_case "JSON/CSV reports well-formed" `Quick test_report_rendering;
+    ] )

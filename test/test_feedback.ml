@@ -63,8 +63,8 @@ let test_token_game_on_reduced_graph () =
   let rng = Ee_util.Prng.create 13 in
   match Mg.run_token_game a.Feedback.graph ~steps:3000 ~rng with
   | `Ok _ -> ()
-  | `Unsafe arc -> Alcotest.failf "unsafe at arc %d" arc
-  | `Dead -> Alcotest.fail "deadlock after feedback removal"
+  | `Unsafe (arc, _) -> Alcotest.failf "unsafe at arc %d" arc
+  | `Dead _ -> Alcotest.fail "deadlock after feedback removal"
 
 let suite =
   ( "feedback",

@@ -76,7 +76,7 @@ let test_token_game_random () =
       Alcotest.(check bool) "balanced firing" true (abs (counts.(0) - counts.(1)) <= 1);
       Alcotest.(check int) "total fires" 1000 (counts.(0) + counts.(1))
   | `Unsafe _ -> Alcotest.fail "safe graph reported unsafe"
-  | `Dead -> Alcotest.fail "live graph reported dead"
+  | `Dead _ -> Alcotest.fail "live graph reported dead"
 
 let test_token_game_detects_unsafe () =
   (* Node 0 fires freely into arc (0,1); node 1 needs both arcs, the second
@@ -84,9 +84,12 @@ let test_token_game_detects_unsafe () =
   let g = Mg.make ~nodes:3 ~arcs:[ (0, 0, 1); (0, 1, 0); (2, 1, 0); (1, 2, 1) ] in
   let rng = Ee_util.Prng.create 7 in
   (match Mg.run_token_game g ~steps:1000 ~rng with
-  | `Unsafe _ -> ()
+  | `Unsafe (_, m) ->
+      (* The carried marking shows the pile-up. *)
+      Alcotest.(check bool) "marking has a >1 arc" true
+        (Array.exists (fun k -> k > 1) (Mg.marking_array m))
   | `Ok _ -> Alcotest.fail "expected unsafe"
-  | `Dead -> Alcotest.fail "expected unsafe, got dead")
+  | `Dead _ -> Alcotest.fail "expected unsafe, got dead")
 
 let test_token_game_on_pl_netlist () =
   (* The b03 arbiter's PL marked graph: random firing for thousands of steps
@@ -100,8 +103,8 @@ let test_token_game_on_pl_netlist () =
   match Mg.run_token_game g ~steps:5000 ~rng with
   | `Ok counts ->
       Alcotest.(check bool) "every node fired" true (Array.for_all (fun c -> c > 0) counts)
-  | `Unsafe a -> Alcotest.failf "unsafe at arc %d" a
-  | `Dead -> Alcotest.fail "deadlock"
+  | `Unsafe (a, _) -> Alcotest.failf "unsafe at arc %d" a
+  | `Dead _ -> Alcotest.fail "deadlock"
 
 let suite =
   ( "marked-graph",

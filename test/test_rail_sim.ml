@@ -84,6 +84,112 @@ let test_single_gate_protocol () =
       Alcotest.(check bool) "and" (vx && vy) outs.(0))
     [ (true, true); (true, true); (false, true); (true, false); (false, false) ]
 
+(* Every gate's output pair starts at {v=0,t=0}, so driving {v=1,t=1} on
+   the first wave changes both wires of the pair at once — the one LEDR
+   transition that can never be legal, and the simulator must say so. *)
+let test_double_rail_fault_detected () =
+  let _, pl, _ = build "b06" in
+  let gates = Pl.gates pl in
+  let target =
+    let rec find i =
+      match gates.(i).Pl.kind with Pl.Gate _ -> i | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let hooks =
+    {
+      Rail_sim.no_hooks with
+      Rail_sim.on_latch =
+        (fun ~wave ~gate r ->
+          if gate = target && wave = 0 then { Ee_phased.Ledr.v = true; t = true } else r);
+    }
+  in
+  let t = Rail_sim.create ~hooks pl in
+  let rng = Ee_util.Prng.create 6 in
+  let width = Array.length (Pl.source_ids pl) in
+  match Rail_sim.apply t (Ee_util.Prng.bool_vector rng width) with
+  | _ -> Alcotest.fail "double-rail fault went unnoticed"
+  | exception Rail_sim.Protocol_violation msg ->
+      let contains hay needle =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "violation names both rails" true (contains msg "both rails")
+
+let test_token_loss_stall_forensics () =
+  let _, pl, _ = build "b06" in
+  let gates = Pl.gates pl in
+  let target =
+    let has_comb_consumer i =
+      Array.exists
+        (fun g ->
+          match g.Pl.kind with
+          | Pl.Gate _ | Pl.Trigger _ | Pl.Register _ -> Array.mem i g.Pl.fanin
+          | _ -> false)
+        gates
+    in
+    let rec find i =
+      match gates.(i).Pl.kind with
+      | Pl.Gate _ when has_comb_consumer i -> i
+      | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let hooks =
+    { Rail_sim.no_hooks with Rail_sim.drop_fire = (fun ~wave ~gate -> gate = target && wave = 1) }
+  in
+  let t = Rail_sim.create ~hooks pl in
+  let rng = Ee_util.Prng.create 6 in
+  let width = Array.length (Pl.source_ids pl) in
+  let rec run wave =
+    if wave >= 4 then Alcotest.fail "dropped firing did not stall the wave"
+    else
+      match Rail_sim.apply t (Ee_util.Prng.bool_vector rng width) with
+      | _ -> run (wave + 1)
+      | exception Rail_sim.Stalled s ->
+          Alcotest.(check int) "stalls in the faulted wave" 1 s.Rail_sim.stall_wave;
+          Alcotest.(check bool) "dropped gate among the unfired" true
+            (List.mem target s.Rail_sim.unfired);
+          Alcotest.(check bool) "dropped gate is a root cause" true
+            (List.mem target s.Rail_sim.roots);
+          Alcotest.(check bool) "report renders" true
+            (String.length (Rail_sim.stall_to_string s) > 0)
+  in
+  run 0
+
+(* Per-gate round delays reorder firings but can never change the values:
+   delay-insensitivity, executed. *)
+let test_delay_schedule_invariance () =
+  let nl, _, pl_ee = build "b09" in
+  let n = Array.length (Pl.gates pl_ee) in
+  let width = Array.length (Pl.source_ids pl_ee) in
+  List.iter
+    (fun mk ->
+      let t = Rail_sim.create ~delays:(Array.init n mk) pl_ee in
+      let st = ref (Netlist.initial_state nl) in
+      let rng = Ee_util.Prng.create 21 in
+      for _ = 1 to 25 do
+        let vec = Ee_util.Prng.bool_vector rng width in
+        let outs, _ = Rail_sim.apply t vec in
+        let expected, st' = Netlist.step nl !st vec in
+        st := st';
+        Alcotest.(check bool) "outputs independent of the schedule" true (outs = expected)
+      done)
+    [ (fun _ -> 0); (fun _ -> 3); (fun i -> i mod 5); (fun i -> (i * 7) mod 11) ]
+
+let test_delay_validation () =
+  let _, pl, _ = build "b02" in
+  (match Rail_sim.create ~delays:[| 1 |] pl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected length validation");
+  let n = Array.length (Pl.gates pl) in
+  match Rail_sim.create ~delays:(Array.make n (-1)) pl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected negative-delay validation"
+
 let suite =
   ( "rail-sim",
     [
@@ -93,4 +199,8 @@ let suite =
       Alcotest.test_case "reset" `Quick test_reset;
       Alcotest.test_case "phase alternation" `Quick test_phase_alternation_across_waves;
       Alcotest.test_case "single gate protocol" `Quick test_single_gate_protocol;
+      Alcotest.test_case "double-rail fault detected" `Quick test_double_rail_fault_detected;
+      Alcotest.test_case "token-loss stall forensics" `Quick test_token_loss_stall_forensics;
+      Alcotest.test_case "delay-schedule invariance" `Quick test_delay_schedule_invariance;
+      Alcotest.test_case "delay validation" `Quick test_delay_validation;
     ] )
