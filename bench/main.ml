@@ -9,6 +9,7 @@
      main.exe --ablation-cost cost-weighting ablation (ablation B)
      main.exe --micro         Bechamel micro-benchmarks only
      main.exe --engine        parallel-suite scaling run (writes BENCH_engine.json)
+     main.exe --perf          analytic throughput vs simulation (writes BENCH_perf.json)
      main.exe --fast          fewer vectors (CI-friendly)
      main.exe --csv           also print Table 3 as CSV *)
 
@@ -70,9 +71,7 @@ let print_ablation_cost () =
   section "Ablation B: Equation 1 weighting vs. coverage-only cost";
   let rows = Ee_report.Ablation.run ~vectors:!vectors ~seed () in
   Ee_util.Table.print (Ee_report.Ablation.to_table rows);
-  let avg get =
-    List.fold_left (fun acc r -> acc +. get r) 0. rows /. float_of_int (List.length rows)
-  in
+  let avg get = Ee_util.Stats.mean (Array.of_list (List.map get rows)) in
   Printf.printf "Average: Eq. 1 %.1f%% vs coverage-only %.1f%%\n"
     (avg (fun r -> r.Ee_report.Ablation.weighted_decrease))
     (avg (fun r -> r.Ee_report.Ablation.coverage_only_decrease))
@@ -478,6 +477,33 @@ let print_engine () =
   Printf.printf "wrote BENCH_engine.json\n";
   if not rows_match then exit 1
 
+(* Analytic throughput: the static MCR analyzer against the streaming
+   simulator on every benchmark, plus the MCR-greedy vs Equation-1
+   selection comparison; the JSON lands in BENCH_perf.json so the model's
+   calibration is tracked across PRs. *)
+
+let print_perf () =
+  section "Perf: analytic throughput (maximum cycle ratio) vs streaming simulation";
+  let waves = if !vectors < 100 then 120 else 240 in
+  (* MCR-greedy selection re-analyzes the whole event graph per candidate
+     pair, which takes several minutes on b15 alone; the analytic-vs-sim
+     table still covers all 15 benchmarks. *)
+  let selection_benchmarks =
+    List.filter
+      (fun b -> b.Ee_bench_circuits.Itc99.id <> "b15")
+      Ee_bench_circuits.Itc99.all
+  in
+  Printf.printf "(selection comparison skips b15: MCR-greedy trial \
+                 re-analysis is too slow there)\n";
+  let r = Ee_report.Perf_report.run ~waves ~selection_benchmarks () in
+  Ee_util.Table.print (Ee_report.Perf_report.to_table r);
+  Printf.printf "\nMCR-greedy vs Equation-1 EE selection:\n";
+  Ee_util.Table.print (Ee_report.Perf_report.selection_to_table r);
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Ee_report.Perf_report.to_json r);
+  close_out oc;
+  Printf.printf "wrote BENCH_perf.json\n"
+
 (* Fault-injection campaigns: sweep the standard fault list over a few
    benchmarks and check that nothing silently mis-computes under the
    adversarial delay schedules.  The dangerous class is wrong-output; the
@@ -576,7 +602,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf";
           ])
       args
   in
@@ -593,6 +619,7 @@ let () =
     print_table2 ();
     print_table3 ~csv:(has "--csv") ();
     print_engine ();
+    print_perf ();
     print_faults ();
     print_sweep ();
     print_ablation_cost ();
@@ -617,6 +644,7 @@ let () =
     | Some other -> Printf.eprintf "unknown table %s\n" other
     | None -> ());
     if has "--engine" then print_engine ();
+    if has "--perf" then print_perf ();
     if has "--faults" then print_faults ();
     if has "--sweep" then print_sweep ();
     if has "--ablation-cost" then print_ablation_cost ();

@@ -5,6 +5,7 @@
    ee_synth suite [--jobs N] ...         all 15 benchmarks on a domain pool
    ee_synth inspect b04 [--dot FILE]     netlist/PL statistics and exports
    ee_synth check b04                    marked-graph liveness/safety proof
+   ee_synth perf b04 [--selection] ...   analytic throughput (max cycle ratio)
    ee_synth faults b04 [--json FILE]     fault-injection campaign *)
 
 open Cmdliner
@@ -119,7 +120,9 @@ let suite_cmd =
     Printf.printf "Suite wall-clock: %.2f s on %d domain%s.\n" s.Engine.wall_clock_s
       s.Engine.domains
       (if s.Engine.domains = 1 then "" else "s");
-    if csv then print_string (Ee_util.Table.to_csv t);
+    if csv then
+      print_string
+        (Ee_util.Table.to_csv (Ee_report.Tables.table3_to_table ~cycles:true s.Engine.table3));
     Option.iter
       (fun tr ->
         if profile then begin
@@ -299,6 +302,91 @@ let faults_cmd =
       const run $ bench_pos $ threshold_t $ coverage_only_t $ waves_t $ seed_t $ json_t
       $ csv_t $ audit_t)
 
+let perf_cmd =
+  let doc =
+    "Static throughput analysis: maximum-cycle-ratio period, critical cycle and \
+     bottlenecks, validated against the streaming simulator."
+  in
+  let waves_t =
+    Arg.(value & opt int 240 & info [ "waves" ] ~docv:"N" ~doc:"Waves for the validation run.")
+  in
+  let tolerance_t =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Maximum analytic-vs-simulated disagreement percent before failing.")
+  in
+  let json_t = Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.") in
+  let perf_seed_t =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for the validation run.")
+  in
+  let selection_t =
+    Arg.(
+      value & flag
+      & info [ "selection" ]
+          ~doc:"Also compare MCR-greedy EE selection against the Equation-1 policy.")
+  in
+  let run bench threshold coverage_only waves seed tolerance json selection =
+    let options = options_of threshold coverage_only in
+    let r = Ee_report.Perf_report.analyze_bench ~options ~waves ~seed bench in
+    let sel =
+      if selection then [ Ee_report.Perf_report.compare_selection ~options bench ]
+      else []
+    in
+    let report = { Ee_report.Perf_report.rows = [ r ]; selection = sel } in
+    if json then print_string (Ee_report.Perf_report.to_json report)
+    else begin
+      Printf.printf "%s: %s\n" r.Ee_report.Perf_report.id r.Ee_report.Perf_report.description;
+      Printf.printf "  analytic period (no EE): %.4f  (throughput %.4f waves/unit)\n"
+        r.Ee_report.Perf_report.lambda_no_ee
+        (1. /. r.Ee_report.Perf_report.lambda_no_ee);
+      Printf.printf "  Karp cross-check gap: %.3e\n" r.Ee_report.Perf_report.karp_gap;
+      Printf.printf "  critical cycle: %s\n" r.Ee_report.Perf_report.critical_cycle;
+      List.iter
+        (fun (name, slack) -> Printf.printf "    bottleneck %-8s slack %.4f\n" name slack)
+        r.Ee_report.Perf_report.tightest;
+      Printf.printf "  EE period: eager %.4f <= expected %.4f <= guarded %.4f\n"
+        r.Ee_report.Perf_report.lambda_eager r.Ee_report.Perf_report.lambda_expected
+        r.Ee_report.Perf_report.lambda_guarded;
+      Printf.printf "  predicted EE speedup: %.1f%%\n" r.Ee_report.Perf_report.analytic_gain;
+      Printf.printf "  simulated (no EE): %.4f (%.2f%% off analytic)\n"
+        r.Ee_report.Perf_report.sim_no_ee r.Ee_report.Perf_report.err_no_ee;
+      Printf.printf "  simulated (EE):    %.4f (%.2f%% off expected)\n"
+        r.Ee_report.Perf_report.sim_ee r.Ee_report.Perf_report.err_ee;
+      List.iter
+        (fun (s : Ee_report.Perf_report.selection_row) ->
+          Printf.printf
+            "  selection: Eq1 %d pairs (period %.4f, gain %.1f%%) vs MCR %d pairs \
+             (period %.4f, gain %.1f%%), overlap %.0f%%\n"
+            s.Ee_report.Perf_report.eq1_gates s.Ee_report.Perf_report.eq1_lambda
+            s.Ee_report.Perf_report.eq1_gain s.Ee_report.Perf_report.mcr_gates
+            s.Ee_report.Perf_report.mcr_lambda s.Ee_report.Perf_report.mcr_gain
+            s.Ee_report.Perf_report.overlap_percent)
+        sel
+    end;
+    (* The analytic model must track the measured period: hard gate for CI. *)
+    let scale = tolerance /. 100. in
+    let no_ee_ok = r.Ee_report.Perf_report.err_no_ee <= tolerance in
+    let ee_ok =
+      r.Ee_report.Perf_report.sim_ee
+      >= (r.Ee_report.Perf_report.lambda_eager *. (1. -. scale)) -. 1e-9
+      && r.Ee_report.Perf_report.sim_ee
+         <= (r.Ee_report.Perf_report.lambda_guarded *. (1. +. scale)) +. 1e-9
+    in
+    let karp_ok = r.Ee_report.Perf_report.karp_gap <= 1e-6 in
+    if not (no_ee_ok && ee_ok && karp_ok) then begin
+      Printf.eprintf
+        "ee_synth perf: validation FAILED (no-EE within %.1f%%: %b; EE within \
+         [eager-%.1f%%, guarded+%.1f%%]: %b; Karp agrees: %b)\n"
+        tolerance no_ee_ok tolerance tolerance ee_ok karp_ok;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(
+      const run $ bench_pos $ threshold_t $ coverage_only_t $ waves_t $ perf_seed_t
+      $ tolerance_t $ json_t $ selection_t)
+
 let check_cmd =
   let doc = "Verify marked-graph liveness and safety of the PL mapping (with and without EE)." in
   let run bench =
@@ -316,6 +404,9 @@ let check_cmd =
 let main =
   let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "ee_synth" ~doc)
-    [ list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd; faults_cmd ]
+    [
+      list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd;
+      perf_cmd; faults_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

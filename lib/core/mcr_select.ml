@@ -1,0 +1,148 @@
+module Pl = Ee_phased.Pl
+module Lut4 = Ee_logic.Lut4
+module Throughput = Ee_perf.Throughput
+
+type options = {
+  min_gain_percent : float;
+  min_coverage : float;
+  max_pairs : int option;
+  gate_delay : float;
+  ee_overhead : float;
+}
+
+let default_options =
+  {
+    min_gain_percent = 0.1;
+    min_coverage = 0.;
+    max_pairs = None;
+    gate_delay = 1.0;
+    ee_overhead = 0.25;
+  }
+
+let request_of (c : Trigger.candidate) cost =
+  {
+    Pl.req_support = c.Trigger.subset;
+    req_func = c.Trigger.func;
+    req_coverage = c.Trigger.coverage;
+    req_cost = cost;
+  }
+
+(* Candidates that could help at all, with the Eq. 1 bookkeeping Synth
+   records (arrival-weighted cost, Mmax/Tmax) for comparability. *)
+let viable_choices options pl master func fanin =
+  let arrivals = Array.map (fun f -> Pl.arrival pl f) fanin in
+  let support = Lut4.support func in
+  let m_max =
+    Ee_util.Bits.fold_bits support (fun acc p -> max acc arrivals.(p)) 0
+  in
+  if m_max = 0 then []
+  else
+    Trigger.candidates func
+    |> List.filter_map (fun cand ->
+           let t_max =
+             Ee_util.Bits.fold_bits cand.Trigger.subset
+               (fun acc p -> max acc arrivals.(p))
+               0
+           in
+           if
+             Cost.speedup_possible ~m_max ~t_max
+             && cand.Trigger.coverage >= options.min_coverage
+           then
+             let cost =
+               Cost.cost Cost.Arrival_weighted ~coverage:cand.Trigger.coverage
+                 ~m_max ~t_max
+             in
+             Some { Synth.master; chosen = cand; m_max; t_max; cost }
+           else None)
+
+let analyze options pl =
+  Throughput.analyze ~gate_delay:options.gate_delay
+    ~ee_overhead:options.ee_overhead pl
+
+let plan ?(options = default_options) pl =
+  let gates = Pl.gates pl in
+  let budget_left inserted =
+    match options.max_pairs with
+    | Some k -> List.length inserted < k
+    | None -> true
+  in
+  let rec round pl_cur inserted =
+    if not (budget_left inserted) then inserted
+    else begin
+      let a = analyze options pl_cur in
+      let lambda = a.Throughput.lambda in
+      if lambda <= 0. then inserted
+      else begin
+        (* Only masters that constrain the period can improve it: original
+           combinational gates, still trigger-less, with (near-)zero slack
+           in the current event graph. *)
+        let eligible = ref [] in
+        Array.iteri
+          (fun i g ->
+            match g.Pl.kind with
+            | Pl.Gate func
+              when Pl.ee pl_cur i = None
+                   && a.Throughput.gate_slack.(i) <= 1e-7 *. lambda ->
+                eligible := (i, func, g.Pl.fanin) :: !eligible
+            | _ -> ())
+          gates;
+        let target = lambda *. (1. -. (options.min_gain_percent /. 100.)) in
+        let best = ref None in
+        List.iter
+          (fun (master, func, fanin) ->
+            List.iter
+              (fun choice ->
+                let trial =
+                  Pl.with_ee pl_cur
+                    [ (master, request_of choice.Synth.chosen choice.Synth.cost) ]
+                in
+                let lambda' = (analyze options trial).Throughput.lambda in
+                let beats =
+                  match !best with
+                  | Some (_, l) -> lambda' < l -. 1e-12
+                  | None -> lambda' <= target
+                in
+                if beats then best := Some (choice, lambda'))
+              (viable_choices options pl_cur master func fanin))
+          (List.rev !eligible)
+        (* eligible was built backwards; restore ascending master order so
+           ties resolve deterministically toward the lowest gate id. *);
+        match !best with
+        | None -> inserted
+        | Some (choice, _) ->
+            let pl_next =
+              Pl.with_ee pl_cur
+                [ (choice.Synth.master, request_of choice.Synth.chosen choice.Synth.cost) ]
+            in
+            round pl_next (choice :: inserted)
+      end
+    end
+  in
+  round pl [] |> List.sort (fun a b -> compare a.Synth.master b.Synth.master)
+
+let run ?(options = default_options) pl =
+  let gates = Pl.gates pl in
+  let eligible =
+    Array.fold_left
+      (fun acc g -> match g.Pl.kind with Pl.Gate _ -> acc + 1 | _ -> acc)
+      0 gates
+  in
+  let choices = plan ~options pl in
+  let requests =
+    List.map
+      (fun c -> (c.Synth.master, request_of c.Synth.chosen c.Synth.cost))
+      choices
+  in
+  let pl' = Pl.with_ee pl requests in
+  let pl_gates = Pl.pl_gate_count pl' in
+  let ee_gates = Pl.ee_gate_count pl' in
+  ( pl',
+    {
+      Synth.eligible_gates = eligible;
+      inserted = choices;
+      pl_gates;
+      ee_gates;
+      area_increase_percent =
+        Ee_util.Stats.ratio_percent ~part:(float_of_int ee_gates)
+          ~whole:(float_of_int pl_gates);
+    } )

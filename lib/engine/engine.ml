@@ -2,6 +2,8 @@ module Pipeline = Ee_report.Pipeline
 module Tables = Ee_report.Tables
 module Itc99 = Ee_bench_circuits.Itc99
 
+type selection = Eq1 | Mcr
+
 type spec = {
   threshold : float;
   coverage_only : bool;
@@ -11,6 +13,7 @@ type spec = {
   seed : int;
   gate_delay : float;
   ee_overhead : float;
+  selection : selection;
 }
 
 let default_spec =
@@ -23,6 +26,7 @@ let default_spec =
     seed = 2002;
     gate_delay = Ee_sim.Sim.default_config.Ee_sim.Sim.gate_delay;
     ee_overhead = Ee_sim.Sim.default_config.Ee_sim.Sim.ee_overhead;
+    selection = Eq1;
   }
 
 let with_threshold threshold spec = { spec with threshold }
@@ -33,6 +37,7 @@ let with_vectors vectors spec = { spec with vectors }
 let with_seed seed spec = { spec with seed }
 let with_gate_delay gate_delay spec = { spec with gate_delay }
 let with_ee_overhead ee_overhead spec = { spec with ee_overhead }
+let with_selection selection spec = { spec with selection }
 
 let synth_options spec =
   {
@@ -46,6 +51,14 @@ let synth_options spec =
 
 let sim_config spec =
   { Ee_sim.Sim.gate_delay = spec.gate_delay; ee_overhead = spec.ee_overhead }
+
+let mcr_options spec =
+  {
+    Ee_core.Mcr_select.default_options with
+    Ee_core.Mcr_select.min_coverage = spec.min_coverage;
+    gate_delay = spec.gate_delay;
+    ee_overhead = spec.ee_overhead;
+  }
 
 let benchmarks = Itc99.all
 
@@ -69,7 +82,12 @@ let run ?(spec = default_spec) ?trace (b : Itc99.benchmark) =
   in
   let options = synth_options spec in
   let config = sim_config spec in
-  let artifact = Pipeline.build_staged ~options ~instrument b in
+  let plan =
+    match spec.selection with
+    | Eq1 -> None
+    | Mcr -> Some (Ee_core.Mcr_select.run ~options:(mcr_options spec))
+  in
+  let artifact = Pipeline.build_staged ~options ?plan ~instrument b in
   let row =
     instrument.Pipeline.wrap "sim" (fun () ->
         Tables.row_of_artifact ~vectors:spec.vectors ~seed:spec.seed ~config artifact)

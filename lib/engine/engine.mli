@@ -21,6 +21,13 @@
     changes.  Pass a {!Trace.t} to either entry point to collect
     per-stage spans. *)
 
+type selection =
+  | Eq1  (** The paper's arrival-weighted Eq. 1 ranking ({!Ee_core.Synth}). *)
+  | Mcr
+      (** Greedy maximum-cycle-ratio descent ({!Ee_core.Mcr_select}): insert
+          the EE pair that most improves the analytic steady-state period,
+          repeat until no pair helps. *)
+
 type spec = {
   threshold : float;  (** Minimum Eq. 1 cost to insert an EE pair. *)
   coverage_only : bool;  (** Rank candidates by coverage only (ablation). *)
@@ -30,6 +37,7 @@ type spec = {
   seed : int;  (** PRNG seed. *)
   gate_delay : float;  (** PL gate firing latency. *)
   ee_overhead : float;  (** Extra Muller-C latency on EE masters. *)
+  selection : selection;  (** EE-pair selection policy (default {!Eq1}). *)
 }
 
 val default_spec : spec
@@ -44,9 +52,14 @@ val with_vectors : int -> spec -> spec
 val with_seed : int -> spec -> spec
 val with_gate_delay : float -> spec -> spec
 val with_ee_overhead : float -> spec -> spec
+val with_selection : selection -> spec -> spec
 
 val synth_options : spec -> Ee_core.Synth.options
 (** The [Ee_core.Synth.options] slice of a spec. *)
+
+val mcr_options : spec -> Ee_core.Mcr_select.options
+(** The [Ee_core.Mcr_select.options] slice of a spec (used when
+    [spec.selection = Mcr]; [threshold] and [coverage_only] do not apply). *)
 
 val sim_config : spec -> Ee_sim.Sim.config
 (** The [Ee_sim.Sim.config] slice of a spec. *)

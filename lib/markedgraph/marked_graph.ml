@@ -286,11 +286,16 @@ let diagnose t m =
     dead_cycle = (match token_free_cycle t m with Some c -> c | None -> []);
   }
 
+let cycle_string = function
+  | [] -> "-"
+  | first :: _ as nodes ->
+      String.concat ">" (List.map string_of_int (nodes @ [ first ]))
+
 let deadlock_to_string d =
   let ints l = String.concat "," (List.map string_of_int l) in
-  Printf.sprintf "deadlock: %d tokens left; enabled=[%s]; token-free cycle=[%s]"
+  Printf.sprintf "deadlock: %d tokens left; enabled=[%s]; token-free cycle=%s"
     (Array.fold_left ( + ) 0 d.dead_marking)
-    (ints d.dead_enabled) (ints d.dead_cycle)
+    (ints d.dead_enabled) (cycle_string d.dead_cycle)
 
 let game t m ~check_initial ~steps ~rng =
   let counts = Array.make t.nodes 0 in

@@ -1,0 +1,477 @@
+exception Not_live of string
+
+type result = { lambda : float; cycle : int list; cycle_arcs : int list }
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let weight_scale (g : Timed_graph.t) =
+  Array.fold_left (fun acc a -> Float.max acc (Float.abs a.Timed_graph.weight)) 1. g.arcs
+
+(* Every directed cycle must carry a token for a steady state to exist:
+   Kahn's algorithm on the token-free sub-graph; leftovers form a cycle. *)
+let check_token_free_cycles (g : Timed_graph.t) =
+  let n = g.nodes in
+  let zout = Array.make n [] in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun a ->
+      if a.Timed_graph.tokens = 0 then begin
+        zout.(a.src) <- a.dst :: zout.(a.src);
+        indeg.(a.dst) <- indeg.(a.dst) + 1
+      end)
+    g.arcs;
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.push v q
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    incr seen;
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.push v q)
+      zout.(u)
+  done;
+  if !seen < n then
+    raise
+      (Not_live
+         (Printf.sprintf
+            "token-free cycle through %d node(s): no steady state exists"
+            (n - !seen)))
+
+(* ------------------------------------------------------------------ *)
+(* Howard's policy iteration (multichain max-cycle-ratio variant)      *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(eps = 1e-12) (g : Timed_graph.t) =
+  check_token_free_cycles g;
+  let n = g.nodes in
+  let arcs = g.arcs in
+  let out = Array.make n [] in
+  let inn = Array.make n [] in
+  Array.iteri
+    (fun ai a ->
+      out.(a.Timed_graph.src) <- ai :: out.(a.src);
+      inn.(a.dst) <- ai :: inn.(a.dst))
+    arcs;
+  (* Keep only nodes that can lie on a cycle: repeatedly discard nodes with
+     no live outgoing arc (a node whose every path leaves the graph never
+     constrains the steady state). *)
+  let alive = Array.make n true in
+  let out_deg = Array.map List.length out in
+  let kill = Queue.create () in
+  for v = 0 to n - 1 do
+    if out_deg.(v) = 0 then Queue.push v kill
+  done;
+  while not (Queue.is_empty kill) do
+    let v = Queue.pop kill in
+    if alive.(v) then begin
+      alive.(v) <- false;
+      List.iter
+        (fun ai ->
+          let u = arcs.(ai).Timed_graph.src in
+          if alive.(u) then begin
+            out_deg.(u) <- out_deg.(u) - 1;
+            if out_deg.(u) = 0 then Queue.push u kill
+          end)
+        inn.(v)
+    end
+  done;
+  if not (Array.exists (fun b -> b) alive) then None
+  else begin
+    let scale = weight_scale g in
+    let eps = eps *. scale in
+    let live_arc ai = alive.(arcs.(ai).Timed_graph.src) && alive.(arcs.(ai).dst) in
+    let policy = Array.make n (-1) in
+    for v = 0 to n - 1 do
+      if alive.(v) then policy.(v) <- List.find live_arc out.(v)
+    done;
+    let lam = Array.make n neg_infinity in
+    let pot = Array.make n 0. in
+    (* 0 = unvisited, 1 = on the current sigma-walk, 2 = evaluated *)
+    let state = Array.make n 0 in
+    let sigma v = arcs.(policy.(v)).Timed_graph.dst in
+    let reduced v lambda =
+      let a = arcs.(policy.(v)) in
+      a.Timed_graph.weight -. (lambda *. float_of_int a.tokens)
+    in
+    let evaluate () =
+      Array.fill state 0 n 0;
+      for start = 0 to n - 1 do
+        if alive.(start) && state.(start) = 0 then begin
+          let path = ref [] in
+          let cur = ref start in
+          while state.(!cur) = 0 do
+            state.(!cur) <- 1;
+            path := !cur :: !path;
+            cur := sigma !cur
+          done;
+          if state.(!cur) = 1 then begin
+            (* New policy cycle rooted at !cur: its ratio, then potentials
+               around it.  The root keeps its previous potential as the
+               anchor — re-anchoring at 0 lets float noise between two
+               equal-ratio policies alternate forever (phase 2 would see a
+               phantom improvement each round); keeping the anchor makes
+               the potential vector monotone, which forces termination. *)
+            let root = !cur in
+            let wsum = ref 0. and tsum = ref 0 in
+            let v = ref root in
+            let continue = ref true in
+            while !continue do
+              let a = arcs.(policy.(!v)) in
+              wsum := !wsum +. a.Timed_graph.weight;
+              tsum := !tsum + a.tokens;
+              v := a.dst;
+              if !v = root then continue := false
+            done;
+            if !tsum = 0 then
+              raise (Not_live "policy cycle without tokens");
+            let lambda = !wsum /. float_of_int !tsum in
+            lam.(root) <- lambda;
+            state.(root) <- 2
+          end;
+          (* The path runs deepest-first, so each node's successor is
+             already evaluated when we reach it. *)
+          List.iter
+            (fun u ->
+              if state.(u) <> 2 then begin
+                lam.(u) <- lam.(sigma u);
+                pot.(u) <- reduced u lam.(u) +. pot.(sigma u);
+                state.(u) <- 2
+              end)
+            !path
+        end
+      done
+    in
+    let improve () =
+      let improved = ref false in
+      (* Phase 1: chase strictly better cycle ratios. *)
+      for u = 0 to n - 1 do
+        if alive.(u) then begin
+          let best = ref policy.(u) in
+          List.iter
+            (fun ai ->
+              if live_arc ai && lam.(arcs.(ai).Timed_graph.dst) > lam.(arcs.(!best).dst) +. eps
+              then best := ai)
+            out.(u);
+          if lam.(arcs.(!best).Timed_graph.dst) > lam.(u) +. eps then begin
+            policy.(u) <- !best;
+            improved := true
+          end
+        end
+      done;
+      if not !improved then
+        (* Phase 2: same ratio, better potential. *)
+        for u = 0 to n - 1 do
+          if alive.(u) then begin
+            let value ai =
+              let a = arcs.(ai) in
+              a.Timed_graph.weight -. (lam.(u) *. float_of_int a.tokens) +. pot.(a.dst)
+            in
+            let best = ref policy.(u) and best_v = ref (value policy.(u)) in
+            List.iter
+              (fun ai ->
+                if live_arc ai && Float.abs (lam.(arcs.(ai).Timed_graph.dst) -. lam.(u)) <= eps
+                then
+                  let v = value ai in
+                  if v > !best_v +. eps then begin
+                    best := ai;
+                    best_v := v
+                  end)
+              out.(u);
+            if !best <> policy.(u) then begin
+              policy.(u) <- !best;
+              improved := true
+            end
+          end
+        done;
+      !improved
+    in
+    let rounds = ref 0 in
+    evaluate ();
+    while improve () do
+      incr rounds;
+      if !rounds > 4 * (n + 8) then
+        failwith "Mcr.solve: policy iteration failed to converge";
+      evaluate ()
+    done;
+    (* Extract a critical cycle: walk sigma from a ratio-maximizing node
+       until it closes. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if alive.(v) && (!best < 0 || lam.(v) > lam.(!best)) then best := v
+    done;
+    let mark = Array.make n false in
+    let v = ref !best in
+    while not mark.(!v) do
+      mark.(!v) <- true;
+      v := sigma !v
+    done;
+    let root = !v in
+    let cycle = ref [] and cycle_arcs = ref [] in
+    let u = ref root in
+    let continue = ref true in
+    while !continue do
+      cycle := !u :: !cycle;
+      cycle_arcs := policy.(!u) :: !cycle_arcs;
+      u := sigma !u;
+      if !u = root then continue := false
+    done;
+    Some
+      {
+        lambda = lam.(!best);
+        cycle = List.rev !cycle;
+        cycle_arcs = List.rev !cycle_arcs;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Karp's algorithm on the token-level unfolding (independent check)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Iterative Tarjan SCC. *)
+let scc_ids nodes (out : (int * float) list array) =
+  let ids = Array.make nodes (-1) in
+  let low = Array.make nodes 0 in
+  let num = Array.make nodes (-1) in
+  let on_stack = Array.make nodes false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref 0 in
+  for root = 0 to nodes - 1 do
+    if num.(root) < 0 then begin
+      (* Explicit DFS stack: (node, remaining successors). *)
+      let work = ref [ (root, ref out.(root)) ] in
+      num.(root) <- !counter;
+      low.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | (v, succs) :: rest -> (
+            match !succs with
+            | (w, _) :: tl ->
+                succs := tl;
+                if num.(w) < 0 then begin
+                  num.(w) <- !counter;
+                  low.(w) <- !counter;
+                  incr counter;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  work := (w, ref out.(w)) :: !work
+                end
+                else if on_stack.(w) then low.(v) <- min low.(v) num.(w)
+            | [] ->
+                work := rest;
+                (match rest with
+                | (p, _) :: _ -> low.(p) <- min low.(p) low.(v)
+                | [] -> ());
+                if low.(v) = num.(v) then begin
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> assert false
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        ids.(w) <- !comps;
+                        if w = v then continue := false
+                  done;
+                  incr comps
+                end)
+      done
+    end
+  done;
+  (ids, !comps)
+
+let karp (g : Timed_graph.t) =
+  check_token_free_cycles g;
+  (* Expand multi-token arcs into unit-token chains through fresh nodes so
+     that one level of the unfolding consumes exactly one token. *)
+  let extra =
+    Array.fold_left
+      (fun acc a -> acc + max 0 (a.Timed_graph.tokens - 1))
+      0 g.arcs
+  in
+  let nodes = g.nodes + extra in
+  let fresh = ref g.nodes in
+  let expanded = ref [] in
+  Array.iter
+    (fun a ->
+      let open Timed_graph in
+      if a.tokens <= 1 then expanded := (a.src, a.dst, a.weight, a.tokens) :: !expanded
+      else begin
+        let prev = ref a.src and w = ref a.weight in
+        for _ = 1 to a.tokens - 1 do
+          expanded := (!prev, !fresh, !w, 1) :: !expanded;
+          prev := !fresh;
+          w := 0.;
+          incr fresh
+        done;
+        expanded := (!prev, a.dst, 0., 1) :: !expanded
+      end)
+    g.arcs;
+  let arcs = !expanded in
+  let out = Array.make nodes [] in
+  List.iter (fun (s, d, w, _) -> out.(s) <- (d, w) :: out.(s)) arcs;
+  let ids, ncomps = scc_ids nodes out in
+  let members = Array.make ncomps [] in
+  for v = nodes - 1 downto 0 do
+    members.(ids.(v)) <- v :: members.(ids.(v))
+  done;
+  let comp_arcs = Array.make ncomps [] in
+  List.iter
+    (fun ((s, d, _, _) as a) ->
+      if ids.(s) = ids.(d) then comp_arcs.(ids.(s)) <- a :: comp_arcs.(ids.(s)))
+    arcs;
+  let best = ref None in
+  let consider lambda =
+    match !best with
+    | Some b when b >= lambda -> ()
+    | _ -> best := Some lambda
+  in
+  for c = 0 to ncomps - 1 do
+    let mem = members.(c) in
+    let m = List.length mem in
+    if comp_arcs.(c) <> [] then begin
+      (* Local numbering. *)
+      let local = Hashtbl.create (2 * m) in
+      List.iteri (fun k v -> Hashtbl.replace local v k) mem;
+      let lc v = Hashtbl.find local v in
+      let token_arcs = ref [] and zout = Array.make m [] in
+      let z_indeg = Array.make m 0 in
+      List.iter
+        (fun (s, d, w, t) ->
+          if t = 0 then begin
+            zout.(lc s) <- (lc d, w) :: zout.(lc s);
+            z_indeg.(lc d) <- z_indeg.(lc d) + 1
+          end
+          else token_arcs := (lc s, lc d, w) :: !token_arcs)
+        comp_arcs.(c);
+      (* Topological order of the token-free sub-graph (its acyclicity was
+         established globally). *)
+      let topo = Array.make m 0 in
+      let filled = ref 0 in
+      let q = Queue.create () in
+      for v = 0 to m - 1 do
+        if z_indeg.(v) = 0 then Queue.push v q
+      done;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        topo.(!filled) <- u;
+        incr filled;
+        List.iter
+          (fun (v, _) ->
+            z_indeg.(v) <- z_indeg.(v) - 1;
+            if z_indeg.(v) = 0 then Queue.push v q)
+          zout.(u)
+      done;
+      assert (!filled = m);
+      let z_relax d =
+        Array.iter
+          (fun u ->
+            List.iter
+              (fun (v, w) -> if d.(u) +. w > d.(v) then d.(v) <- d.(u) +. w)
+              zout.(u))
+          topo
+      in
+      if !token_arcs <> [] then begin
+        (* Condense to head nodes: every token arc enters a head, every
+           cycle alternates z-paths with token arcs, so Karp's bound on the
+           condensed graph is h = #heads. *)
+        let is_head = Array.make m false in
+        List.iter (fun (_, d, _) -> is_head.(d) <- true) !token_arcs;
+        let heads = ref [] in
+        for v = m - 1 downto 0 do
+          if is_head.(v) then heads := v :: !heads
+        done;
+        let heads = Array.of_list !heads in
+        let h = Array.length heads in
+        let hist = Array.make_matrix (h + 1) h neg_infinity in
+        let record k d = Array.iteri (fun j v -> hist.(k).(j) <- d.(v)) heads in
+        let prev = Array.make m neg_infinity in
+        let cur = Array.make m neg_infinity in
+        prev.(heads.(0)) <- 0.;
+        z_relax prev;
+        record 0 prev;
+        let prev = ref prev and cur = ref cur in
+        for k = 1 to h do
+          Array.fill !cur 0 m neg_infinity;
+          List.iter
+            (fun (s, d, w) ->
+              let p = !prev in
+              if p.(s) +. w > !cur.(d) then !cur.(d) <- p.(s) +. w)
+            !token_arcs;
+          z_relax !cur;
+          record k !cur;
+          let t = !prev in
+          prev := !cur;
+          cur := t
+        done;
+        for j = 0 to h - 1 do
+          if hist.(h).(j) > neg_infinity then begin
+            let worst = ref infinity in
+            for k = 0 to h - 1 do
+              let r = (hist.(h).(j) -. hist.(k).(j)) /. float_of_int (h - k) in
+              if r < !worst then worst := r
+            done;
+            if Float.is_finite !worst then consider !worst
+          end
+        done
+      end
+    end
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Potentials and slack                                                *)
+(* ------------------------------------------------------------------ *)
+
+let potentials (g : Timed_graph.t) ~lambda =
+  let n = g.nodes in
+  let d = Array.make n 0. in
+  let out = Array.make n [] in
+  Array.iter
+    (fun a -> out.(a.Timed_graph.src) <- a :: out.(a.Timed_graph.src))
+    g.arcs;
+  let eps = 1e-9 *. weight_scale g in
+  let in_queue = Array.make n true in
+  let bumps = Array.make n 0 in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    Queue.push v q
+  done;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    in_queue.(u) <- false;
+    List.iter
+      (fun a ->
+        let open Timed_graph in
+        let nv = d.(u) +. a.weight -. (lambda *. float_of_int a.tokens) in
+        if nv > d.(a.dst) +. eps then begin
+          d.(a.dst) <- nv;
+          bumps.(a.dst) <- bumps.(a.dst) + 1;
+          if bumps.(a.dst) > n + 2 then
+            invalid_arg "Mcr.potentials: positive cycle (lambda below the MCR)";
+          if not in_queue.(a.dst) then begin
+            in_queue.(a.dst) <- true;
+            Queue.push a.dst q
+          end
+        end)
+      out.(u)
+  done;
+  d
+
+let arc_slacks (g : Timed_graph.t) ~lambda =
+  let d = potentials g ~lambda in
+  Array.map
+    (fun a ->
+      let open Timed_graph in
+      d.(a.dst) -. d.(a.src) -. a.weight +. (lambda *. float_of_int a.tokens))
+    g.arcs

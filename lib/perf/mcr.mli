@@ -1,0 +1,51 @@
+(** Maximum cycle ratio of a timed event graph.
+
+    For a strongly-connected timed marked graph the steady-state period is
+    [lambda* = max_C sum weight(C) / sum tokens(C)] over directed cycles [C]
+    (Ramchandani 1973).  {!solve} computes it with Howard's policy iteration
+    (Cochet-Terrasson et al. 1998) — experimentally near-linear and the
+    fastest known algorithm in practice — and returns a critical cycle
+    attaining the ratio.  {!karp} recomputes the same value by a token-level
+    unfolding of Karp's minimum-mean-cycle theorem (Karp 1978), sharing no
+    code with Howard; the test suite and the bench harness use it as an
+    independent cross-check.
+
+    Both raise {!Not_live} when they meet a token-free cycle: such a graph
+    has no steady state (the corresponding marked graph deadlocks), so a
+    cycle ratio would be meaningless. *)
+
+exception Not_live of string
+
+type result = {
+  lambda : float;  (** The maximum cycle ratio — steady-state period. *)
+  cycle : int list;  (** Nodes of a critical cycle, in arc order. *)
+  cycle_arcs : int list;  (** Indices into [g.arcs] of the cycle's arcs. *)
+}
+
+val solve : ?eps:float -> Timed_graph.t -> result option
+(** Howard's policy iteration.  [None] when the graph has no directed cycle
+    at all (then every schedule is a one-shot and the period is 0).  [eps]
+    (default 1e-12, scaled by the largest weight) separates ratio and
+    potential improvements from float noise. *)
+
+val karp : Timed_graph.t -> float option
+(** Independent cross-check: per strongly-connected component, unfold the
+    graph into token levels (token arcs advance one level, token-free arcs
+    propagate inside a level in topological order) and apply Karp's
+    max-mean formula over the level profiles.  Returns the global maximum
+    ratio, or [None] when the graph is acyclic.  Exact up to float rounding
+    — agreement with {!solve} within 1e-9 relative is asserted by the test
+    suite on all ITC99 graphs and on random live graphs. *)
+
+val potentials : Timed_graph.t -> lambda:float -> float array
+(** Longest-path potentials [d] under reduced arc lengths
+    [weight - lambda * tokens], from an implicit super-source ([d >= 0]).
+    Converges iff no cycle is positive at [lambda], i.e. iff
+    [lambda >= lambda*]; raises [Invalid_argument] otherwise. *)
+
+val arc_slacks : Timed_graph.t -> lambda:float -> float array
+(** Per-arc slack [d(dst) - d(src) - weight + lambda*tokens >= 0] with [d]
+    from {!potentials}.  An arc is {e critical} (lies on a maximum-ratio
+    cycle, or on a tight chain feeding one) iff its slack is 0; in general
+    the slack is a lower bound on how much the arc's weight may grow before
+    the period degrades. *)

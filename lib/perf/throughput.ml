@@ -1,0 +1,107 @@
+module Pl = Ee_phased.Pl
+
+type analysis = {
+  lambda : float;
+  throughput : float;
+  critical_gates : int list;
+  critical_string : string;
+  gate_slack : float array;
+  events : int;
+}
+
+let gate_name pl i =
+  match (Pl.gate pl i).Pl.kind with
+  | Pl.Source nm -> "in:" ^ nm
+  | Pl.Const_source _ -> Printf.sprintf "const%d" i
+  | Pl.Gate _ -> Printf.sprintf "g%d" i
+  | Pl.Register _ -> Printf.sprintf "reg%d" i
+  | Pl.Trigger _ -> Printf.sprintf "trig%d" i
+  | Pl.Sink nm -> "out:" ^ nm
+
+let analyze ?gate_delay ?ee_overhead ?delays ?mode pl =
+  let m = Timed_graph.of_pl ?gate_delay ?ee_overhead ?delays ?mode pl in
+  let g = m.Timed_graph.graph in
+  let n_gates = Array.length (Pl.gates pl) in
+  match Mcr.solve g with
+  | None ->
+      {
+        lambda = 0.;
+        throughput = 0.;
+        critical_gates = [];
+        critical_string = "-";
+        gate_slack = Array.make n_gates infinity;
+        events = g.Timed_graph.nodes;
+      }
+  | Some { Mcr.lambda; cycle; _ } ->
+      (* Event cycle -> gate cycle: collapse the output/completion events
+         of a split master into one entry. *)
+      let critical_gates =
+        List.fold_left
+          (fun acc ev ->
+            let gate = m.Timed_graph.event_gate.(ev) in
+            match acc with
+            | prev :: _ when prev = gate -> acc
+            | _ -> gate :: acc)
+          [] cycle
+        |> List.rev
+      in
+      let critical_gates =
+        (* The collapse above can leave the closing gate duplicated at the
+           front and back of the cycle. *)
+        match critical_gates with
+        | first :: _ ->
+            let rec drop_last = function
+              | [ last ] when last = first -> []
+              | [] -> []
+              | x :: tl -> x :: drop_last tl
+            in
+            if List.length critical_gates > 1 then drop_last critical_gates
+            else critical_gates
+        | [] -> []
+      in
+      let critical_string =
+        match critical_gates with
+        | [] -> "-"
+        | first :: _ ->
+            String.concat ">"
+              (List.map (gate_name pl) (critical_gates @ [ first ]))
+      in
+      (* Gate slack: a gate's latency appears as the weight of every arc
+         into its events, so the margin before it disturbs the period is at
+         least the smallest slack among those arcs. *)
+      let slacks = Mcr.arc_slacks g ~lambda in
+      let gate_slack = Array.make n_gates infinity in
+      Array.iteri
+        (fun ai (a : Timed_graph.arc) ->
+          let gate = m.Timed_graph.event_gate.(a.dst) in
+          if slacks.(ai) < gate_slack.(gate) then gate_slack.(gate) <- slacks.(ai))
+        g.Timed_graph.arcs;
+      {
+        lambda;
+        throughput = (if lambda > 0. then 1. /. lambda else 0.);
+        critical_gates;
+        critical_string;
+        gate_slack;
+        events = g.Timed_graph.nodes;
+      }
+
+let bottlenecks a k =
+  let critical i = List.mem i a.critical_gates in
+  (* Quantize so that float noise between equally-tight gates does not
+     defeat the critical-first tie-break. *)
+  let q s = Float.round (s *. 1e9) in
+  let ranked =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) a.gate_slack)
+    |> List.filter (fun (_, s) -> Float.is_finite s)
+    |> List.sort (fun (i1, s1) (i2, s2) ->
+           match Float.compare (q s1) (q s2) with
+           | 0 -> (
+               match compare (critical i2) (critical i1) with
+               | 0 -> compare i1 i2
+               | c -> c)
+           | c -> c)
+  in
+  List.filteri (fun i _ -> i < k) ranked
+
+let predicted_gain before after =
+  Ee_util.Stats.percent_change ~before:before.lambda ~after:after.lambda

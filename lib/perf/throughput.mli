@@ -1,0 +1,47 @@
+(** Static throughput analysis of phased-logic netlists.
+
+    Bundles {!Timed_graph.of_pl} and {!Mcr.solve} into one per-netlist
+    report: the steady-state period (the maximum cycle ratio of the event
+    graph), the critical cycle in terms of PL gates, and per-gate slack —
+    how much each gate's latency may grow before the period degrades.
+    Validated against [Ee_sim.Stream_sim] steady-state measurements by the
+    test suite (within 5% on every ITC99 benchmark) and cross-checked by
+    Karp's algorithm. *)
+
+type analysis = {
+  lambda : float;
+      (** Steady-state period: time per wave once the pipeline fills. *)
+  throughput : float;
+      (** Waves per time unit, [1. /. lambda] ([0.] when the period is 0). *)
+  critical_gates : int list;
+      (** PL gates on the critical cycle, in cycle order, deduplicated. *)
+  critical_string : string;
+      (** Human-readable critical cycle, e.g. ["g12>reg3>out:sum>g12"]. *)
+  gate_slack : float array;
+      (** Per PL gate: a lower bound on how much its latency may grow
+          without degrading [lambda] ([infinity] for unconstrained gates). *)
+  events : int;  (** Event-graph size (diagnostics). *)
+}
+
+val analyze :
+  ?gate_delay:float ->
+  ?ee_overhead:float ->
+  ?delays:float array ->
+  ?mode:Timed_graph.ee_mode ->
+  Ee_phased.Pl.t ->
+  analysis
+(** Parameters as in {!Timed_graph.of_pl}.  Raises [Mcr.Not_live] on a
+    netlist whose marked graph is not live (never the case for
+    [Pl.of_netlist] outputs). *)
+
+val gate_name : Ee_phased.Pl.t -> int -> string
+(** Short stable gate label used in [critical_string]: ["in:a"], ["g12"],
+    ["reg7"], ["trig9"], ["const3"], ["out:sum"]. *)
+
+val bottlenecks : analysis -> int -> (int * float) list
+(** The [k] tightest gates as [(gate, slack)], slack-ascending, critical
+    gates first; ties broken by gate id. *)
+
+val predicted_gain : analysis -> analysis -> float
+(** [percent_change] between two periods (no-EE vs. EE): positive when the
+    second analysis is faster. *)

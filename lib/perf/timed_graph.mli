@@ -1,0 +1,82 @@
+(** Timed event graphs: the max-plus constraint systems whose maximum cycle
+    ratio is the steady-state cycle time of a live-and-safe marked graph.
+
+    An arc [(u, v, w, k)] is the recurrence constraint
+    [x_v(n) >= x_u(n - k) + w]: event [v] of wave [n] may happen no earlier
+    than [w] time units after event [u] of wave [n - k], where [k] is the
+    number of initial tokens on the place between them.  Classical marked
+    graph theory (Ramchandani 1973; Baccelli et al., "Synchronization and
+    Linearity") gives the asymptotic period of the recurrence as the
+    {e maximum cycle ratio} [max_C sum w(C) / sum k(C)] — see {!Mcr}.
+
+    Two constructors cover the repo's needs: {!of_marked_graph} annotates an
+    existing [Marked_graph.t] with per-node delays (arc weight = delay of
+    the consuming node), and {!of_pl} builds the event graph of a phased
+    logic netlist directly, mirroring [Ee_sim.Stream_sim]'s firing rule —
+    including the early-evaluation path, where a master with a trigger is
+    split into an {e output} event (gated by the trigger cone, the subset
+    inputs and the consumers' acknowledges) and a {e completion} event
+    (gated by all inputs; emits the acknowledges to the producers). *)
+
+type arc = { src : int; dst : int; weight : float; tokens : int }
+
+type t = { nodes : int; arcs : arc array }
+
+val make : nodes:int -> arcs:arc list -> t
+(** Raises [Invalid_argument] on out-of-range endpoints, negative token
+    counts or non-finite weights. *)
+
+val of_marked_graph :
+  Ee_markedgraph.Marked_graph.t -> node_delay:(int -> float) -> t
+(** One event per marked-graph node; each arc keeps its token count and is
+    weighted with the {e consumer}'s delay ([node_delay dst]), i.e. firing
+    completion of a node happens [node_delay] after all its input tokens
+    arrived — the timed firing rule of [Ee_sim.Sim] and [Stream_sim]. *)
+
+(** How the early-evaluation path of an annotated master is modelled.
+
+    - [Guarded]: the trigger never fires — the master is a plain gate whose
+      delay carries the C-element overhead.  Upper bound; exact when every
+      trigger evaluates to 0.
+    - [Eager]: the trigger always fires — the output event waits only for
+      the subset inputs, the trigger token and the consumers' acknowledges.
+      Lower bound; exact when every trigger evaluates to 1.
+    - [Expected p]: heuristic interpolation — the output event keeps all of
+      [Eager]'s arcs with weight [ee + (1-p)*delay] and the late inputs
+      constrain it with weight [(1-p)*(delay + ee)], where [p master] is
+      the probability the master's trigger fires.  Degenerates to [Guarded]
+      at [p = 0]; approaches (but, being a worst-case bound over a
+      constraint set, never undercuts) [Eager] at [p = 1].  A max-plus
+      system cannot express an average of constraint sets, so this is a
+      prediction, not a bound. *)
+type ee_mode = Guarded | Eager | Expected of (int -> float)
+
+type mapping = {
+  graph : t;
+  event_gate : int array;  (** Event id -> PL gate id. *)
+  event_early : bool array;  (** True for the output event of a split master. *)
+  output_event : int array;  (** Gate id -> event stamping its data tokens. *)
+  complete_event : int array;  (** Gate id -> event stamping its acknowledges. *)
+}
+
+val of_pl :
+  ?gate_delay:float ->
+  ?ee_overhead:float ->
+  ?delays:float array ->
+  ?mode:ee_mode ->
+  Ee_phased.Pl.t ->
+  mapping
+(** Event graph of a PL netlist under [Stream_sim]'s timing semantics.
+    [gate_delay] (default 1.0) and [ee_overhead] (default 0.25) match
+    [Stream_sim.default_config]; [delays] optionally gives a per-gate base
+    delay indexed like [Pl.gates] (a [Delay_model] schedule — sources,
+    constant generators and sinks are forced to 0, as in the simulator).
+    [mode] (default [Expected] with [p = coverage/100], the trigger's firing
+    probability under uniform inputs) selects the EE model above; on a
+    netlist without EE annotations all modes coincide.  Raises
+    [Invalid_argument] if [delays] has the wrong length. *)
+
+val coverage_probability : Ee_phased.Pl.t -> int -> float
+(** The default [Expected] probability: the master's trigger coverage as a
+    fraction (clamped to [0..1]), i.e. the chance a uniform random minterm
+    lets the subset decide the output. *)

@@ -30,10 +30,14 @@ val stage_names : string list
 
 val build_staged :
   ?options:Ee_core.Synth.options ->
+  ?plan:(Ee_phased.Pl.t -> Ee_phased.Pl.t * Ee_core.Synth.report) ->
   ?instrument:instrument ->
   Ee_bench_circuits.Itc99.benchmark ->
   artifact
-(** Run the pipeline with each stage passed through [instrument]. *)
+(** Run the pipeline with each stage passed through [instrument].  [plan]
+    replaces the default "ee-plan" stage ([Synth.run ~options]) with an
+    alternative selection policy — e.g. [Ee_core.Mcr_select.run]; when
+    given, [options] is ignored. *)
 
 val build : ?options:Ee_core.Synth.options -> Ee_bench_circuits.Itc99.benchmark -> artifact
 (** @deprecated New code should go through [Ee_engine.Engine.run], which

@@ -60,6 +60,7 @@ type row = {
   delay_diff : float;
   area_increase : float;
   delay_decrease : float;
+  critical_cycle : string;
 }
 
 type table3 = {
@@ -73,6 +74,17 @@ let row_of_artifact ?(vectors = 100) ?(seed = 2002) ?config (a : Pipeline.artifa
   let ee = Ee_sim.Sim.run_random ?config a.Pipeline.pl_ee ~vectors ~seed in
   let delay_no_ee = base.Ee_sim.Sim.avg_settle_time in
   let delay_ee = ee.Ee_sim.Sim.avg_settle_time in
+  let critical_cycle =
+    let gate_delay, ee_overhead =
+      match config with
+      | Some c -> (c.Ee_sim.Sim.gate_delay, c.Ee_sim.Sim.ee_overhead)
+      | None ->
+          ( Ee_sim.Sim.default_config.Ee_sim.Sim.gate_delay,
+            Ee_sim.Sim.default_config.Ee_sim.Sim.ee_overhead )
+    in
+    (Ee_perf.Throughput.analyze ~gate_delay ~ee_overhead a.Pipeline.pl_ee)
+      .Ee_perf.Throughput.critical_string
+  in
   {
     id = a.Pipeline.id;
     description = a.Pipeline.description;
@@ -83,6 +95,7 @@ let row_of_artifact ?(vectors = 100) ?(seed = 2002) ?config (a : Pipeline.artifa
     delay_diff = delay_no_ee -. delay_ee;
     area_increase = a.Pipeline.synth_report.Ee_core.Synth.area_increase_percent;
     delay_decrease = Ee_util.Stats.percent_change ~before:delay_no_ee ~after:delay_ee;
+    critical_cycle;
   }
 
 let run_table3 ?vectors ?seed ?config ?options () =
@@ -95,45 +108,47 @@ let run_table3 ?vectors ?seed ?config ?options () =
     avg_delay_decrease = List.fold_left (fun acc r -> acc +. r.delay_decrease) 0. rows /. n;
   }
 
-let table3_to_table t3 =
-  let t =
-    Table.create
-      ~headers:
-        [
-          "Description";
-          "PL Gates (no EE)";
-          "EE Gates";
-          "Avg Delay (no EE)";
-          "Avg Delay (w. EE)";
-          "Delay Diff.";
-          "% Area Increase";
-          "% Delay Decrease";
-        ]
+let table3_to_table ?(cycles = false) t3 =
+  let headers =
+    [
+      "Description";
+      "PL Gates (no EE)";
+      "EE Gates";
+      "Avg Delay (no EE)";
+      "Avg Delay (w. EE)";
+      "Delay Diff.";
+      "% Area Increase";
+      "% Delay Decrease";
+    ]
+    @ if cycles then [ "Critical Cycle" ] else []
   in
+  let t = Table.create ~headers in
   List.iter
     (fun r ->
       Table.add_row t
-        [
-          Printf.sprintf "%s %s" r.id r.description;
-          string_of_int r.pl_gates;
-          string_of_int r.ee_gates;
-          Printf.sprintf "%.1f" r.delay_no_ee;
-          Printf.sprintf "%.1f" r.delay_ee;
-          Printf.sprintf "%.1f" r.delay_diff;
-          Printf.sprintf "%.0f%%" r.area_increase;
-          Printf.sprintf "%.0f%%" r.delay_decrease;
-        ])
+        ([
+           Printf.sprintf "%s %s" r.id r.description;
+           string_of_int r.pl_gates;
+           string_of_int r.ee_gates;
+           Printf.sprintf "%.1f" r.delay_no_ee;
+           Printf.sprintf "%.1f" r.delay_ee;
+           Printf.sprintf "%.1f" r.delay_diff;
+           Printf.sprintf "%.0f%%" r.area_increase;
+           Printf.sprintf "%.0f%%" r.delay_decrease;
+         ]
+        @ if cycles then [ r.critical_cycle ] else []))
     t3.rows;
   Table.add_separator t;
   Table.add_row t
-    [
-      "average";
-      "";
-      "";
-      "";
-      "";
-      "";
-      Printf.sprintf "%.0f%%" t3.avg_area_increase;
-      Printf.sprintf "%.0f%%" t3.avg_delay_decrease;
-    ];
+    ([
+       "average";
+       "";
+       "";
+       "";
+       "";
+       "";
+       Printf.sprintf "%.0f%%" t3.avg_area_increase;
+       Printf.sprintf "%.0f%%" t3.avg_delay_decrease;
+     ]
+    @ if cycles then [ "" ] else []);
   t

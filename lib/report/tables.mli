@@ -30,6 +30,10 @@ type row = {
   delay_diff : float;
   area_increase : float;  (** percent *)
   delay_decrease : float;  (** percent *)
+  critical_cycle : string;
+      (** The EE netlist's throughput-critical cycle (from
+          {!Ee_perf.Throughput.analyze}), e.g. ["reg3>g12>out:u"] — makes
+          bottlenecks greppable straight from suite CSV output. *)
 }
 
 type table3 = {
@@ -48,7 +52,9 @@ val run_table3 :
 (** Default 100 random vectors per circuit (the paper's protocol),
     seed 2002. *)
 
-val table3_to_table : table3 -> Ee_util.Table.t
+val table3_to_table : ?cycles:bool -> table3 -> Ee_util.Table.t
+(** [cycles] (default false) appends the per-row critical-cycle column
+    (used by [ee_synth suite --csv]). *)
 
 val row_of_artifact :
   ?vectors:int -> ?seed:int -> ?config:Ee_sim.Sim.config -> Pipeline.artifact -> row

@@ -28,9 +28,16 @@ type arc = {
 (* Because the marked graph is safe, every arc is a capacity-one FIFO and
    the untimed token game order coincides with the timed order; tokens carry
    timestamps, so gates may be processed from a worklist in any order. *)
-let run ?(config = default_config) pl ~vectors =
+let run ?(config = default_config) ?delays pl ~vectors =
   let gates = Pl.gates pl in
   let n = Array.length gates in
+  (match delays with
+  | Some d when Array.length d <> n ->
+      invalid_arg "Stream_sim.run: delays length mismatch"
+  | _ -> ());
+  let delay i =
+    match delays with Some d -> d.(i) | None -> config.gate_delay
+  in
   let arcs = ref [] in
   let n_arcs = ref 0 in
   let in_arcs = Array.make n [] in
@@ -156,8 +163,8 @@ let run ?(config = default_config) pl ~vectors =
           emit_feedback t_all
       | Pl.Register _ ->
           let d = fanin_tokens.(0) in
-          emit_output (t_all +. config.gate_delay) d.value;
-          emit_feedback (t_all +. config.gate_delay)
+          emit_output (t_all +. delay i) d.value;
+          emit_feedback (t_all +. delay i)
       | Pl.Sink _ ->
           let d = fanin_tokens.(0) in
           Queue.push d (sink_records.(Hashtbl.find sink_index i));
@@ -165,14 +172,14 @@ let run ?(config = default_config) pl ~vectors =
       | Pl.Trigger { func; _ } ->
           let v = Array.make 4 false in
           Array.iteri (fun k tok -> v.(k) <- tok.value) fanin_tokens;
-          emit_output (t_all +. config.gate_delay) (Lut4.eval func v);
-          emit_feedback (t_all +. config.gate_delay)
+          emit_output (t_all +. delay i) (Lut4.eval func v);
+          emit_feedback (t_all +. delay i)
       | Pl.Gate func ->
           let v = Array.make 4 false in
           Array.iteri (fun k tok -> v.(k) <- tok.value) fanin_tokens;
           let value = Lut4.eval func v in
           let t_complete =
-            t_all +. config.gate_delay
+            t_all +. delay i
             +. (if trigger_token = None then 0. else config.ee_overhead)
           in
           let t_out =
@@ -239,10 +246,11 @@ let run ?(config = default_config) pl ~vectors =
   in
   { waves; outputs; completion_times; cycle_time; makespan; early_fires = !early_fires }
 
-let run_random ?config pl ~waves ~seed =
+let run_random ?config ?delays pl ~waves ~seed =
   let rng = Ee_util.Prng.create seed in
   let width = Array.length (Pl.source_ids pl) in
-  run ?config pl ~vectors:(List.init waves (fun _ -> Ee_util.Prng.bool_vector rng width))
+  run ?config ?delays pl
+    ~vectors:(List.init waves (fun _ -> Ee_util.Prng.bool_vector rng width))
 
 let throughput_gain ?config pl pl_ee ~waves ~seed =
   let base = run_random ?config pl ~waves ~seed in

@@ -42,12 +42,26 @@ exception Unsafe of string
     produced by [Pl.of_netlist]/[Pl.with_ee] (live & safe by construction),
     so seeing it means a broken netlist transformation. *)
 
-val run : ?config:config -> Ee_phased.Pl.t -> vectors:bool array list -> result
+val run :
+  ?config:config ->
+  ?delays:float array ->
+  Ee_phased.Pl.t ->
+  vectors:bool array list ->
+  result
 (** Streams the given input vectors through the netlist as fast as the
-    self-timed handshakes allow. *)
+    self-timed handshakes allow.  [delays] optionally replaces the uniform
+    [config.gate_delay] with a per-gate latency indexed like [Pl.gates] (a
+    [Delay_model] schedule); sources, constant generators and sinks fire
+    instantaneously either way.  Raises [Invalid_argument] on a length
+    mismatch. *)
 
 val run_random :
-  ?config:config -> Ee_phased.Pl.t -> waves:int -> seed:int -> result
+  ?config:config ->
+  ?delays:float array ->
+  Ee_phased.Pl.t ->
+  waves:int ->
+  seed:int ->
+  result
 
 val throughput_gain :
   ?config:config -> Ee_phased.Pl.t -> Ee_phased.Pl.t -> waves:int -> seed:int -> float

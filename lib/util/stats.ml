@@ -31,6 +31,23 @@ let summarize a =
     median;
   }
 
+let geomean a =
+  assert (Array.length a > 0);
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive sample") a;
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0. a /. float_of_int (Array.length a))
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: rank out of [0,100]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  let frac = rank -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
 let percent_change ~before ~after =
   if before = 0. then 0. else (before -. after) /. before *. 100.
 

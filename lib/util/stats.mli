@@ -14,6 +14,17 @@ val summarize : float array -> summary
 
 val mean : float array -> float
 
+val geomean : float array -> float
+(** Geometric mean of a non-empty sample of strictly positive values.
+    Raises [Invalid_argument] on a non-positive sample — speedup ratios and
+    cycle times must be > 0 for the log-mean to be defined. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0..100]: linear interpolation between the
+    closest ranks of the sorted sample (the "inclusive" convention, so
+    [percentile a 0. = min] and [percentile a 100. = max]).  Raises
+    [Invalid_argument] on an empty sample or an out-of-range rank. *)
+
 val percent_change : before:float -> after:float -> float
 (** [(before - after) / before * 100.], i.e. positive means a decrease. *)
 

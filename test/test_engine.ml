@@ -223,6 +223,7 @@ let test_spec_builders () =
     |> Engine.with_seed 3
     |> Engine.with_gate_delay 2.
     |> Engine.with_ee_overhead 0.5
+    |> Engine.with_selection Engine.Mcr
   in
   let o = Engine.synth_options spec in
   Alcotest.(check (float 0.)) "threshold" 80. o.Ee_core.Synth.threshold;
@@ -234,7 +235,28 @@ let test_spec_builders () =
   Alcotest.(check (float 0.)) "gate delay" 2. c.Ee_sim.Sim.gate_delay;
   Alcotest.(check (float 0.)) "ee overhead" 0.5 c.Ee_sim.Sim.ee_overhead;
   Alcotest.(check int) "vectors" 7 spec.Engine.vectors;
-  Alcotest.(check int) "seed" 3 spec.Engine.seed
+  Alcotest.(check int) "seed" 3 spec.Engine.seed;
+  Alcotest.(check bool) "selection" true (spec.Engine.selection = Engine.Mcr);
+  Alcotest.(check bool) "default selection is Eq1" true
+    (Engine.default_spec.Engine.selection = Engine.Eq1);
+  let m = Engine.mcr_options spec in
+  Alcotest.(check (float 0.)) "mcr min coverage" 25. m.Ee_core.Mcr_select.min_coverage;
+  Alcotest.(check (float 0.)) "mcr gate delay" 2. m.Ee_core.Mcr_select.gate_delay;
+  Alcotest.(check (float 0.)) "mcr ee overhead" 0.5 m.Ee_core.Mcr_select.ee_overhead
+
+(* The Engine's Mcr selection hook must route through Mcr_select and yield
+   the same plan as calling it directly. *)
+let test_engine_mcr_selection () =
+  let b = Ee_bench_circuits.Itc99.find "b06" in
+  let spec = small_spec |> Engine.with_selection Engine.Mcr in
+  let r = Engine.run ~spec b in
+  let pl =
+    Ee_phased.Pl.of_netlist (Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()))
+  in
+  let _, direct = Ee_core.Mcr_select.run ~options:(Engine.mcr_options spec) pl in
+  Alcotest.(check int) "ee gates match direct Mcr_select"
+    direct.Ee_core.Synth.ee_gates
+    r.Engine.artifact.Ee_report.Pipeline.synth_report.Ee_core.Synth.ee_gates
 
 let suite =
   ( "engine",
@@ -252,4 +274,5 @@ let suite =
       Alcotest.test_case "trace: one span per stage" `Quick test_trace_spans;
       Alcotest.test_case "trace: Chrome JSON well-formed" `Quick test_trace_chrome_json;
       Alcotest.test_case "spec builders" `Quick test_spec_builders;
+      Alcotest.test_case "Mcr selection hook" `Slow test_engine_mcr_selection;
     ] )

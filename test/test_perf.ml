@@ -1,0 +1,317 @@
+module Tg = Ee_perf.Timed_graph
+module Mcr = Ee_perf.Mcr
+module Throughput = Ee_perf.Throughput
+module Mg = Ee_markedgraph.Marked_graph
+module Pl = Ee_phased.Pl
+module Ss = Ee_sim.Stream_sim
+
+let feq = Alcotest.float 1e-9
+
+let build id =
+  let b = Ee_bench_circuits.Itc99.find id in
+  let nl = Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()) in
+  let pl = Pl.of_netlist nl in
+  let pl_ee, _ = Ee_core.Synth.run pl in
+  (pl, pl_ee)
+
+let lambda_of g =
+  match Mcr.solve g with
+  | Some r -> r.Mcr.lambda
+  | None -> Alcotest.fail "expected a cycle"
+
+(* ---------------------------------------------------------------- *)
+(* Hand-checkable graphs                                             *)
+(* ---------------------------------------------------------------- *)
+
+let arc src dst weight tokens = { Tg.src; dst; weight; tokens }
+
+let test_hand_graphs () =
+  (* Two-node handshake: forward arc with the token, backward without;
+     period = sum of delays. *)
+  let g = Tg.make ~nodes:2 ~arcs:[ arc 0 1 1.5 1; arc 1 0 2.5 0 ] in
+  Alcotest.check feq "handshake" 4.0 (lambda_of g);
+  (* Self-loop: one token, own delay. *)
+  let g = Tg.make ~nodes:1 ~arcs:[ arc 0 0 3.0 1 ] in
+  Alcotest.check feq "self loop" 3.0 (lambda_of g);
+  (* Two competing cycles: 6/2 < 7/1 — the critical one wins. *)
+  let g =
+    Tg.make ~nodes:3
+      ~arcs:[ arc 0 1 3.0 1; arc 1 0 3.0 1; arc 1 2 5.0 0; arc 2 1 2.0 1 ]
+  in
+  Alcotest.check feq "competing cycles" 7.0 (lambda_of g);
+  (match Mcr.solve g with
+  | Some r ->
+      Alcotest.(check (list int)) "critical cycle nodes" [ 1; 2 ] (List.sort compare r.Mcr.cycle)
+  | None -> Alcotest.fail "cycle expected");
+  (* Multi-token arc: 6 units of work, 3 tokens. *)
+  let g = Tg.make ~nodes:2 ~arcs:[ arc 0 1 4.0 2; arc 1 0 2.0 1 ] in
+  Alcotest.check feq "multi-token cycle" 2.0 (lambda_of g);
+  (* Acyclic graph: no steady-state constraint. *)
+  let g = Tg.make ~nodes:3 ~arcs:[ arc 0 1 1.0 0; arc 1 2 1.0 1 ] in
+  Alcotest.(check bool) "acyclic -> None" true (Mcr.solve g = None);
+  Alcotest.(check bool) "karp acyclic -> None" true (Mcr.karp g = None)
+
+let test_not_live_detected () =
+  let g = Tg.make ~nodes:2 ~arcs:[ arc 0 1 1.0 0; arc 1 0 1.0 0 ] in
+  (match Mcr.solve g with
+  | exception Mcr.Not_live _ -> ()
+  | _ -> Alcotest.fail "Howard must reject a token-free cycle");
+  match Mcr.karp g with
+  | exception Mcr.Not_live _ -> ()
+  | _ -> Alcotest.fail "Karp must reject a token-free cycle"
+
+let test_slack_and_potentials () =
+  let g =
+    Tg.make ~nodes:3
+      ~arcs:[ arc 0 1 3.0 1; arc 1 0 3.0 1; arc 1 2 5.0 0; arc 2 1 2.0 1 ]
+  in
+  let lambda = lambda_of g in
+  let slacks = Mcr.arc_slacks g ~lambda in
+  (* The 7/1 cycle (arcs 2 and 3) is tight; the 6/2 cycle has play. *)
+  Alcotest.check feq "critical arc slack" 0.0 slacks.(2);
+  Alcotest.check feq "critical arc slack" 0.0 slacks.(3);
+  Alcotest.(check bool) "non-critical cycle has slack" true
+    (slacks.(0) +. slacks.(1) > 1.0);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "slack non-negative" true (s >= -1e-9))
+    slacks;
+  (* Below the MCR there is a positive cycle: potentials must refuse. *)
+  match Mcr.potentials g ~lambda:(lambda -. 0.5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "potentials below lambda* must diverge"
+
+(* ---------------------------------------------------------------- *)
+(* Karp vs Howard on random live graphs                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Random graphs guaranteed live: nodes get random levels; an arc carries a
+   token unless it goes strictly uphill, so every token-free path ascends
+   and no token-free cycle can close.  A Hamiltonian backbone keeps the
+   graph strongly connected (hence every node on a cycle). *)
+let random_live_graph rng =
+  let open Ee_util in
+  let n = 3 + Prng.int rng 22 in
+  let levels = Array.init n (fun _ -> Prng.int rng 6) in
+  let arcs = ref [] in
+  let add u v =
+    let tokens =
+      if levels.(u) < levels.(v) && Prng.bool rng then 0
+      else 1 + Prng.int rng 2
+    in
+    let weight = float_of_int (Prng.int rng 1000) /. 100. in
+    arcs := arc u v weight tokens :: !arcs
+  in
+  for u = 0 to n - 1 do
+    add u ((u + 1) mod n)
+  done;
+  let extra = n + Prng.int rng (2 * n) in
+  for _ = 1 to extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    add u v
+  done;
+  Tg.make ~nodes:n ~arcs:!arcs
+
+let test_karp_equals_howard_random () =
+  let rng = Ee_util.Prng.create 7701 in
+  for i = 1 to 200 do
+    let g = random_live_graph rng in
+    let howard = lambda_of g in
+    match Mcr.karp g with
+    | None -> Alcotest.failf "graph %d: Karp found no cycle" i
+    | Some karp ->
+        if Float.abs (karp -. howard) > 1e-9 *. Float.max 1. (Float.abs howard)
+        then
+          Alcotest.failf "graph %d: Howard %.12f vs Karp %.12f" i howard karp
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Rings: analytic period vs canopy bound vs simulator               *)
+(* ---------------------------------------------------------------- *)
+
+let test_ring_matches_canopy () =
+  List.iter
+    (fun (stages, tokens) ->
+      let ring = Ee_sim.Ring.build ~stages ~tokens in
+      let a = Throughput.analyze ring.Ee_sim.Ring.pl in
+      let bound = Ee_sim.Ring.theoretical_period ring in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "ring %d/%d analytic = canopy" stages tokens)
+        bound a.Throughput.lambda;
+      let measured = Ee_sim.Ring.period ~waves:240 ring in
+      Alcotest.(check bool)
+        (Printf.sprintf "ring %d/%d analytic ~ measured" stages tokens)
+        true
+        (Float.abs (measured -. a.Throughput.lambda) /. a.Throughput.lambda
+        < 0.02))
+    [ (8, 2); (8, 4); (9, 3); (12, 5) ]
+
+(* ---------------------------------------------------------------- *)
+(* ITC99: Karp cross-check and simulator agreement                   *)
+(* ---------------------------------------------------------------- *)
+
+let benchmarks =
+  [ "b01"; "b02"; "b03"; "b04"; "b05"; "b06"; "b07"; "b08"; "b09"; "b10";
+    "b11"; "b12"; "b13"; "b14"; "b15" ]
+
+let test_itc99_karp_agrees () =
+  List.iter
+    (fun id ->
+      let pl, pl_ee = build id in
+      List.iter
+        (fun (tag, netlist, mode) ->
+          let m = Tg.of_pl ?mode netlist in
+          let howard = lambda_of m.Tg.graph in
+          match Mcr.karp m.Tg.graph with
+          | None -> Alcotest.failf "%s %s: no cycle?" id tag
+          | Some karp ->
+              if Float.abs (karp -. howard) > 1e-9 *. Float.max 1. howard then
+                Alcotest.failf "%s %s: Howard %.12f vs Karp %.12f" id tag
+                  howard karp)
+        [ ("no-ee", pl, None); ("ee", pl_ee, Some Tg.Eager) ])
+    benchmarks
+
+let test_itc99_analysis_matches_sim () =
+  List.iter
+    (fun id ->
+      let pl, _ = build id in
+      let a = Throughput.analyze pl in
+      let r = Ss.run_random pl ~waves:240 ~seed:11 in
+      let err =
+        Float.abs (r.Ss.cycle_time -. a.Throughput.lambda)
+        /. a.Throughput.lambda *. 100.
+      in
+      if err > 5.0 then
+        Alcotest.failf "%s: analytic %.4f vs simulated %.4f (%.2f%% off)" id
+          a.Throughput.lambda r.Ss.cycle_time err)
+    benchmarks
+
+let test_itc99_ee_modes_bracket_sim () =
+  List.iter
+    (fun id ->
+      let _, pl_ee = build id in
+      let eager = (Throughput.analyze ~mode:Tg.Eager pl_ee).Throughput.lambda in
+      let expected = (Throughput.analyze pl_ee).Throughput.lambda in
+      let guarded =
+        (Throughput.analyze ~mode:Tg.Guarded pl_ee).Throughput.lambda
+      in
+      Alcotest.(check bool) (id ^ " eager <= expected") true
+        (eager <= expected +. 1e-9);
+      Alcotest.(check bool) (id ^ " expected <= guarded") true
+        (expected <= guarded +. 1e-9);
+      let r = Ss.run_random pl_ee ~waves:240 ~seed:11 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s sim %.3f within [eager %.3f - 5%%, guarded %.3f + 5%%]"
+           id r.Ss.cycle_time eager guarded)
+        true
+        (r.Ss.cycle_time >= (eager *. 0.95) -. 1e-9
+        && r.Ss.cycle_time <= (guarded *. 1.05) +. 1e-9))
+    [ "b01"; "b04"; "b06"; "b09"; "b12" ]
+
+let test_jittered_delays_agree () =
+  (* Per-gate delay schedules flow through both the analyzer and the
+     streaming simulator; the analytic period must keep tracking the
+     measured one when the unit-delay assumption breaks. *)
+  List.iter
+    (fun id ->
+      let pl, _ = build id in
+      let delays = Ee_sim.Delay_model.jittered pl ~gate_delay:1.0 ~spread:0.4 ~seed:5 in
+      let a = Throughput.analyze ~delays pl in
+      let r = Ss.run_random ~delays pl ~waves:240 ~seed:11 in
+      let err =
+        Float.abs (r.Ss.cycle_time -. a.Throughput.lambda)
+        /. a.Throughput.lambda *. 100.
+      in
+      if err > 5.0 then
+        Alcotest.failf "%s jittered: analytic %.4f vs simulated %.4f (%.2f%%)"
+          id a.Throughput.lambda r.Ss.cycle_time err)
+    [ "b01"; "b06"; "b11" ]
+
+let test_critical_cycle_names_gates () =
+  let pl, _ = build "b04" in
+  let a = Throughput.analyze pl in
+  Alcotest.(check bool) "critical cycle non-empty" true
+    (a.Throughput.critical_gates <> []);
+  Alcotest.(check bool) "cycle string closes" true
+    (String.length a.Throughput.critical_string > 0
+    &&
+    match String.index_opt a.Throughput.critical_string '>' with
+    | Some _ -> true
+    | None -> false);
+  (* Critical gates have (near-)zero slack. *)
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "critical gate slack ~ 0" true
+        (a.Throughput.gate_slack.(g) < 1e-6))
+    a.Throughput.critical_gates;
+  (* Bottlenecks are sorted by slack and start with a critical gate. *)
+  match Throughput.bottlenecks a 5 with
+  | (g0, s0) :: _ ->
+      Alcotest.(check bool) "tightest slack ~ 0" true (s0 < 1e-6);
+      Alcotest.(check bool) "tightest is critical" true
+        (List.mem g0 a.Throughput.critical_gates)
+  | [] -> Alcotest.fail "no bottlenecks reported"
+
+let test_mcr_selection () =
+  (* b12 is loop-bound (EE demonstrably helps it); the MCR-driven policy
+     must find gains there with no more triggers than Eq. 1 spends. *)
+  let b = Ee_bench_circuits.Itc99.find "b12" in
+  let nl = Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()) in
+  let pl = Pl.of_netlist nl in
+  let _, rep_eq1 = Ee_core.Synth.run pl in
+  let pl_mcr, rep_mcr = Ee_core.Mcr_select.run pl in
+  Alcotest.(check bool) "inserts at least one pair" true
+    (rep_mcr.Ee_core.Synth.ee_gates >= 1);
+  Alcotest.(check bool) "spends fewer triggers than Eq. 1" true
+    (rep_mcr.Ee_core.Synth.ee_gates <= rep_eq1.Ee_core.Synth.ee_gates);
+  (* The predicted period must improve over no-EE... *)
+  let lam_no_ee = (Throughput.analyze pl).Throughput.lambda in
+  let lam_mcr = (Throughput.analyze pl_mcr).Throughput.lambda in
+  Alcotest.(check bool) "predicted period improves" true (lam_mcr < lam_no_ee);
+  (* ...and the measured gain must be real. *)
+  let gain = Ss.throughput_gain pl pl_mcr ~waves:200 ~seed:4 in
+  Alcotest.(check bool) "measured gain positive" true (gain > 0.);
+  (* EE must never change values: spot-check against the golden model. *)
+  let rng = Ee_util.Prng.create 99 in
+  let width = Array.length (Ee_netlist.Netlist.inputs nl) in
+  let vectors = List.init 60 (fun _ -> Ee_util.Prng.bool_vector rng width) in
+  let golden =
+    let st = ref (Ee_netlist.Netlist.initial_state nl) in
+    List.map
+      (fun vec ->
+        let outs, st' = Ee_netlist.Netlist.step nl !st vec in
+        st := st';
+        outs)
+      vectors
+  in
+  let r = Ss.run pl_mcr ~vectors in
+  List.iteri
+    (fun w exp ->
+      if r.Ss.outputs.(w) <> exp then
+        Alcotest.failf "wave %d differs from golden model" w)
+    golden;
+  (* The extended marked graph stays live and safe. *)
+  match Mg.check_live_safe (Pl.to_marked_graph pl_mcr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "not live/safe: %s" e
+
+let suite =
+  ( "perf",
+    [
+      Alcotest.test_case "hand graphs" `Quick test_hand_graphs;
+      Alcotest.test_case "token-free cycles rejected" `Quick test_not_live_detected;
+      Alcotest.test_case "slack and potentials" `Quick test_slack_and_potentials;
+      Alcotest.test_case "Karp = Howard on 200 random live graphs" `Quick
+        test_karp_equals_howard_random;
+      Alcotest.test_case "ring analytic = canopy = simulated" `Slow
+        test_ring_matches_canopy;
+      Alcotest.test_case "ITC99 Karp = Howard" `Slow test_itc99_karp_agrees;
+      Alcotest.test_case "ITC99 analytic within 5% of stream sim" `Slow
+        test_itc99_analysis_matches_sim;
+      Alcotest.test_case "EE modes bracket the simulator" `Slow
+        test_itc99_ee_modes_bracket_sim;
+      Alcotest.test_case "jittered delay schedules agree" `Slow
+        test_jittered_delays_agree;
+      Alcotest.test_case "critical cycle names gates" `Quick
+        test_critical_cycle_names_gates;
+      Alcotest.test_case "MCR-driven selection works" `Slow test_mcr_selection;
+    ] )

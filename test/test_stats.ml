@@ -19,6 +19,37 @@ let test_median_odd () =
   let s = Stats.summarize [| 9.; 1.; 5. |] in
   Alcotest.check feq "median (odd)" 5. s.Stats.median
 
+let test_geomean () =
+  Alcotest.check feq "powers of two" 4. (Stats.geomean [| 2.; 8. |]);
+  Alcotest.check feq "all equal" 3. (Stats.geomean [| 3.; 3.; 3. |]);
+  Alcotest.check feq "singleton" 0.5 (Stats.geomean [| 0.5 |]);
+  (* geomean <= arithmetic mean, strictly when samples differ *)
+  let a = [| 1.; 4.; 9.; 16. |] in
+  Alcotest.(check bool) "AM-GM" true (Stats.geomean a < Stats.mean a);
+  (match Stats.geomean [| 1.; 0.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero sample must be rejected");
+  match Stats.geomean [| -1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative sample must be rejected"
+
+let test_percentile () =
+  let a = [| 15.; 20.; 35.; 40.; 50. |] in
+  Alcotest.check feq "p0 = min" 15. (Stats.percentile a 0.);
+  Alcotest.check feq "p100 = max" 50. (Stats.percentile a 100.);
+  Alcotest.check feq "median" 35. (Stats.percentile a 50.);
+  (* Linear interpolation between ranks 1 and 2: 20 + 0.6*(35-20). *)
+  Alcotest.check feq "p40 interpolates" 29. (Stats.percentile a 40.);
+  (* Order-independent. *)
+  Alcotest.check feq "unsorted input" 35. (Stats.percentile [| 50.; 15.; 35.; 40.; 20. |] 50.);
+  Alcotest.check feq "singleton any rank" 7. (Stats.percentile [| 7. |] 90.);
+  (match Stats.percentile [||] 50. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sample must be rejected");
+  match Stats.percentile a 101. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rank above 100 must be rejected"
+
 let test_percent_change () =
   Alcotest.check feq "decrease" 25. (Stats.percent_change ~before:100. ~after:75.);
   Alcotest.check feq "increase" (-10.) (Stats.percent_change ~before:100. ~after:110.);
@@ -35,6 +66,8 @@ let suite =
       Alcotest.test_case "mean" `Quick test_mean;
       Alcotest.test_case "summarize" `Quick test_summarize;
       Alcotest.test_case "median odd" `Quick test_median_odd;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "percentile" `Quick test_percentile;
       Alcotest.test_case "percent_change" `Quick test_percent_change;
       Alcotest.test_case "ratio_percent" `Quick test_ratio_percent;
     ] )
