@@ -401,12 +401,142 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ bench_pos)
 
+let client_cmd =
+  let doc = "Send one request to a running ee_synthd and print the response line." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "COMMAND is one of synth, perf, faults, stats, ping, shutdown, or raw. \
+         'raw' sends $(b,--json) verbatim. synth/perf/faults accept the usual \
+         spec knobs; the response is one JSON line on stdout (exit 1 if its \
+         status is \"error\").";
+    ]
+  in
+  let run command socket tcp bench blif waves deadline threshold coverage_only
+      vectors seed selection json =
+    let module Client = Ee_serve.Client in
+    let module Protocol = Ee_serve.Protocol in
+    let address =
+      match tcp with
+      | None -> Ok (`Unix socket)
+      | Some spec -> (
+          match String.rindex_opt spec ':' with
+          | None -> Error "expected HOST:PORT for --tcp"
+          | Some i -> (
+              let host = String.sub spec 0 i in
+              match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+              | Some p when p > 0 && p < 65536 -> Ok (`Tcp (host, p))
+              | _ -> Error "bad port in --tcp"))
+    in
+    let spec =
+      let base = spec_of threshold coverage_only vectors seed in
+      match Option.bind selection Engine.selection_of_string with
+      | Some sel -> Engine.with_selection sel base
+      | None -> base
+    in
+    let source =
+      match (bench, blif) with
+      | Some b, None -> Ok (`Bench b)
+      | None, Some path -> (
+          match In_channel.with_open_text path In_channel.input_all with
+          | text -> Ok (`Blif text)
+          | exception Sys_error m -> Error m)
+      | Some _, Some _ -> Error "give --bench or --blif, not both"
+      | None, None -> Error "synth needs --bench or --blif"
+    in
+    let line =
+      match command with
+      | "raw" -> (
+          match json with
+          | Some l -> Ok l
+          | None -> Error "raw needs --json REQUEST")
+      | _ -> (
+          let req =
+            match command with
+            | "synth" -> Result.map (fun source -> Protocol.Synth { source; spec }) source
+            | "perf" ->
+                Result.map
+                  (fun b -> Protocol.Perf { bench = b; spec; waves = Option.value waves ~default:240 })
+                  (Option.to_result ~none:"perf needs --bench" bench)
+            | "faults" ->
+                Result.map
+                  (fun b -> Protocol.Faults { bench = b; spec; waves = Option.value waves ~default:16 })
+                  (Option.to_result ~none:"faults needs --bench" bench)
+            | "stats" -> Ok Protocol.Stats
+            | "ping" -> Ok Protocol.Ping
+            | "shutdown" -> Ok Protocol.Shutdown
+            | c -> Error (Printf.sprintf "unknown command %S" c)
+          in
+          Result.map
+            (fun req ->
+              Ee_export.Json.to_string
+                (Protocol.envelope_to_json
+                   { Protocol.id = Ee_export.Json.Null; deadline_s = deadline; req }))
+            req)
+    in
+    match (address, line) with
+    | Error m, _ | _, Error m ->
+        prerr_endline ("ee_synth client: " ^ m);
+        exit 2
+    | Ok address, Ok line -> (
+        match Client.connect ~retries:3 address with
+        | exception Unix.Unix_error (e, _, _) ->
+            prerr_endline ("ee_synth client: cannot connect: " ^ Unix.error_message e);
+            exit 1
+        | client ->
+            let resp = Client.request_line client line in
+            Client.close client;
+            print_endline resp;
+            let failed =
+              match Ee_export.Json.parse resp with
+              | Ok j -> Ee_export.Json.member "status" j = Some (Ee_export.Json.String "error")
+              | Error _ -> true
+            in
+            if failed then exit 1)
+  in
+  let command_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"COMMAND" ~doc:"synth, perf, faults, stats, ping, shutdown, or raw.")
+  in
+  let socket_t =
+    Arg.(value & opt string "ee_synthd.sock" & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the daemon.")
+  in
+  let tcp_t =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  in
+  let bench_t =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"BENCH" ~doc:"Benchmark id (b01..b15).")
+  in
+  let blif_t =
+    Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE" ~doc:"Send this BLIF file as the synth source.")
+  in
+  let waves_t =
+    Arg.(value & opt (some int) None & info [ "waves" ] ~docv:"N" ~doc:"Waves for perf/faults.")
+  in
+  let deadline_t =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc:"Per-request deadline in seconds.")
+  in
+  let selection_t =
+    Arg.(value & opt (some string) None & info [ "selection" ] ~docv:"NAME" ~doc:"EE selection: eq1 or mcr.")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"REQUEST" ~doc:"Raw request line for 'raw'.")
+  in
+  Cmd.v (Cmd.info "client" ~doc ~man)
+    Term.(
+      const run $ command_pos $ socket_t $ tcp_t $ bench_t $ blif_t $ waves_t
+      $ deadline_t $ threshold_t $ coverage_only_t $ vectors_t $ seed_t
+      $ selection_t $ json_t)
+
 let main =
   let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "ee_synth" ~doc)
     [
       list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd;
-      perf_cmd; faults_cmd;
+      perf_cmd; faults_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

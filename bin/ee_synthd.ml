@@ -1,0 +1,100 @@
+(* The ee_synthd daemon: a concurrent synthesis service over a Unix or TCP
+   socket.  See lib/serve for the protocol and serving model.
+
+   ee_synthd --socket /tmp/ee.sock --jobs 4 --deadline 30
+   ee_synthd --tcp 127.0.0.1:7421 --cache-mb 128 --cache-dir /tmp/ee-cache *)
+
+open Cmdliner
+module Server = Ee_serve.Server
+
+let address_of ~socket ~tcp =
+  match tcp with
+  | None -> Ok (`Unix socket)
+  | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> Error (`Msg "expected HOST:PORT for --tcp")
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> Ok (`Tcp (host, p))
+          | _ -> Error (`Msg (Printf.sprintf "bad port %S in --tcp" port))))
+
+let run socket tcp jobs queue deadline cache_mb cache_dir quiet =
+  match address_of ~socket ~tcp with
+  | Error (`Msg m) ->
+      prerr_endline ("ee_synthd: " ^ m);
+      exit 2
+  | Ok address ->
+      let d = Server.default_config in
+      let domains = match jobs with Some j -> max 1 j | None -> d.Server.domains in
+      let cfg =
+        {
+          d with
+          Server.address;
+          domains;
+          max_pending = (match queue with Some q -> max 1 q | None -> 4 * domains);
+          default_deadline_s = deadline;
+          cache_max_bytes = cache_mb * 1024 * 1024;
+          cache_dir;
+          log = (if quiet then ignore else fun m -> prerr_endline ("ee_synthd: " ^ m));
+        }
+      in
+      let stop = Atomic.make false in
+      let request_stop _ = Atomic.set stop true in
+      ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+      ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+      Server.serve ~stop cfg
+
+let socket_t =
+  Arg.(
+    value
+    & opt string "ee_synthd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+
+let tcp_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on TCP instead of a Unix socket.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (default: the machine's recommended count).")
+
+let queue_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission bound: requests in flight before rejecting with 'overloaded' (default 4x jobs).")
+
+let deadline_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:"Default per-request deadline in seconds (requests may override with deadline_s).")
+
+let cache_mb_t =
+  Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc:"In-memory result cache budget.")
+
+let cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Persist cache entries to this directory.")
+
+let quiet_t = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the startup/shutdown log lines.")
+
+let main =
+  let doc = "concurrent early-evaluation synthesis service with a content-addressed result cache" in
+  Cmd.v
+    (Cmd.info "ee_synthd" ~doc)
+    Term.(
+      const run $ socket_t $ tcp_t $ jobs_t $ queue_t $ deadline_t $ cache_mb_t
+      $ cache_dir_t $ quiet_t)
+
+let () = exit (Cmd.eval main)

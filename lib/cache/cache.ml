@@ -1,0 +1,169 @@
+(* Byte-budgeted LRU over a hashtable + doubly-linked recency list, one
+   mutex around everything.  Entries are (hex key, payload string); the
+   accounting charges key + payload bytes. *)
+
+type node = {
+  n_key : string;
+  n_value : string;
+  n_size : int;
+  mutable prev : node option;  (* towards most-recently-used *)
+  mutable next : node option;  (* towards least-recently-used *)
+}
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable bytes : int;
+  max_bytes : int;
+  persist_dir : string option;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let key parts =
+  Digest.to_hex
+    (Digest.string (String.concat "" (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts)))
+
+let create ?(max_bytes = 64 * 1024 * 1024) ?persist_dir () =
+  Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) persist_dir;
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 256;
+    mru = None;
+    lru = None;
+    bytes = 0;
+    max_bytes = max 0 max_bytes;
+    persist_dir;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- recency list (caller holds the lock) ---- *)
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.mru <- node.next);
+  (match node.next with Some nx -> nx.prev <- node.prev | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let remove t node =
+  unlink t node;
+  Hashtbl.remove t.table node.n_key;
+  t.bytes <- t.bytes - node.n_size
+
+let evict_until t budget =
+  while t.bytes > budget do
+    match t.lru with
+    | Some victim ->
+        remove t victim;
+        t.evictions <- t.evictions + 1
+    | None -> t.bytes <- 0 (* unreachable: bytes > 0 implies an entry *)
+  done
+
+let insert t k v =
+  (match Hashtbl.find_opt t.table k with Some old -> remove t old | None -> ());
+  let size = String.length k + String.length v in
+  if size <= t.max_bytes then begin
+    evict_until t (t.max_bytes - size);
+    let node = { n_key = k; n_value = v; n_size = size; prev = None; next = None } in
+    Hashtbl.replace t.table k node;
+    push_front t node;
+    t.bytes <- t.bytes + size
+  end
+
+(* ---- persistence ---- *)
+
+let entry_path dir k = Filename.concat dir k
+
+let persist dir k v =
+  let tmp = entry_path dir (k ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  output_string oc v;
+  close_out oc;
+  Sys.rename tmp (entry_path dir k)
+
+let read_disk dir k =
+  let path = entry_path dir k in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let v = really_input_string ic len in
+    close_in ic;
+    Some v
+  end
+  else None
+
+(* ---- public API ---- *)
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some node ->
+          t.hits <- t.hits + 1;
+          unlink t node;
+          push_front t node;
+          Some node.n_value
+      | None -> (
+          match Option.bind t.persist_dir (fun dir -> read_disk dir k) with
+          | Some v ->
+              t.disk_hits <- t.disk_hits + 1;
+              insert t k v;
+              Some v
+          | None ->
+              t.misses <- t.misses + 1;
+              None))
+
+let add t ~key:k v =
+  locked t (fun () ->
+      t.insertions <- t.insertions + 1;
+      insert t k v;
+      Option.iter (fun dir -> persist dir k v) t.persist_dir)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        insertions = t.insertions;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes;
+        max_bytes = t.max_bytes;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.mru <- None;
+      t.lru <- None;
+      t.bytes <- 0)

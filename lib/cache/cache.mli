@@ -1,0 +1,51 @@
+(** A content-addressed synthesis-result cache.
+
+    Keys are hex digests ({!key}) of whatever content identifies a result —
+    [ee_synthd] hashes the request kind, the canonical BLIF text of the
+    netlist and {!Ee_engine.Engine.spec_fingerprint} — and values are the
+    serialized result payloads (single-line JSON).  The store is a
+    byte-budgeted LRU: inserting past [max_bytes] evicts least-recently-used
+    entries until the new entry fits.  All operations are safe to call
+    concurrently from several Domains (one mutex; every operation is
+    O(1) apart from multi-entry eviction).
+
+    With [persist_dir] every insertion is also written to disk (one file
+    per key, atomically via rename), and a miss falls back to the
+    directory before reporting failure — so a restarted daemon re-serves
+    previous results warm.  Disk reads count as {!stats.disk_hits} and
+    re-populate the in-memory tier. *)
+
+type t
+
+type stats = {
+  hits : int;  (** In-memory hits. *)
+  disk_hits : int;  (** Misses served from [persist_dir]. *)
+  misses : int;  (** Full misses (not in memory, not on disk). *)
+  insertions : int;
+  evictions : int;  (** Entries dropped to honour the byte budget. *)
+  entries : int;  (** Current in-memory entry count. *)
+  bytes : int;  (** Current in-memory payload bytes (keys + values). *)
+  max_bytes : int;
+}
+
+val create : ?max_bytes:int -> ?persist_dir:string -> unit -> t
+(** [max_bytes] defaults to 64 MiB.  [persist_dir] is created if missing
+    (parents must exist); entries already present there are served on
+    demand, not preloaded. *)
+
+val key : string list -> string
+(** Hex digest of the concatenated parts (order-sensitive, with an
+    unambiguous separator so part boundaries cannot collide). *)
+
+val find : t -> string -> string option
+(** Look up a key, refreshing its recency.  Checks memory, then
+    [persist_dir]. *)
+
+val add : t -> key:string -> string -> unit
+(** Insert (or refresh) a value.  A value larger than the whole budget is
+    persisted to disk (when enabled) but not kept in memory. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every in-memory entry (counters and disk files are kept). *)

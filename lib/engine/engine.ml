@@ -29,6 +29,34 @@ let default_spec =
     selection = Eq1;
   }
 
+let selection_to_string = function Eq1 -> "eq1" | Mcr -> "mcr"
+
+let selection_of_string = function
+  | "eq1" -> Some Eq1
+  | "mcr" -> Some Mcr
+  | _ -> None
+
+(* Exhaustive over the record so a new knob cannot be forgotten silently:
+   the pattern match below fails to compile if a field is added. *)
+let spec_fingerprint spec =
+  let {
+    threshold;
+    coverage_only;
+    min_coverage;
+    share_triggers;
+    vectors;
+    seed;
+    gate_delay;
+    ee_overhead;
+    selection;
+  } =
+    spec
+  in
+  Printf.sprintf
+    "spec-v1;threshold=%h;coverage_only=%b;min_coverage=%h;share_triggers=%b;vectors=%d;seed=%d;gate_delay=%h;ee_overhead=%h;selection=%s"
+    threshold coverage_only min_coverage share_triggers vectors seed gate_delay
+    ee_overhead (selection_to_string selection)
+
 let with_threshold threshold spec = { spec with threshold }
 let with_coverage_only coverage_only spec = { spec with coverage_only }
 let with_min_coverage min_coverage spec = { spec with min_coverage }

@@ -54,6 +54,19 @@ val with_gate_delay : float -> spec -> spec
 val with_ee_overhead : float -> spec -> spec
 val with_selection : selection -> spec -> spec
 
+val selection_to_string : selection -> string
+(** ["eq1"] / ["mcr"] — the wire names used by the serving protocol. *)
+
+val selection_of_string : string -> selection option
+
+val spec_fingerprint : spec -> string
+(** A stable, injective rendering of every observable knob of the spec
+    (floats in hex notation, so distinct values never collide by rounding).
+    [Ee_serve] hashes it together with the canonical BLIF text of the
+    netlist to form content-addressed cache keys; the leading [spec-v1]
+    token must be bumped whenever a change to the synthesis flow makes old
+    cached results stale for an identical spec. *)
+
 val synth_options : spec -> Ee_core.Synth.options
 (** The [Ee_core.Synth.options] slice of a spec. *)
 

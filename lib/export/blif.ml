@@ -237,3 +237,12 @@ let of_blif text =
     (List.rev !latch_order);
   List.iter (fun name -> Netlist.set_output b name (resolve name)) !outputs;
   Netlist.finalize b
+
+let parse text =
+  match of_blif text with
+  | nl -> Ok nl
+  | exception Parse_error (line, msg) ->
+      Error
+        (if line = 0 then Printf.sprintf "BLIF: %s" msg
+         else Printf.sprintf "BLIF line %d: %s" line msg)
+  | exception Invalid_argument msg -> Error (Printf.sprintf "BLIF: %s" msg)

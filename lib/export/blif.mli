@@ -18,3 +18,11 @@ val of_blif : string -> Ee_netlist.Netlist.t
 (** Parses a single [.model].  Signal names are preserved for primary
     inputs and outputs; internal names become anonymous nodes.  LUTs with
     more than four inputs are rejected (this is a LUT4 flow). *)
+
+val parse : string -> (Ee_netlist.Netlist.t, string) result
+(** {!of_blif} with every failure captured as a message instead of an
+    exception — the entry point [ee_synthd] uses to accept external
+    netlists, where a malformed upload must become a [bad_request]
+    response rather than unwind the server.  Catches {!Parse_error} (with
+    its line number) and the netlist validator's [Invalid_argument]
+    (dangling latches, combinational cycles, over-wide LUTs). *)

@@ -1,0 +1,255 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+
+(* -------------------------------------------------------------------- *)
+(* Printing                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    (* Shortest %g form that round-trips closely enough for latencies and
+       periods; the protocol carries measurements, not bit patterns. *)
+    Printf.sprintf "%.12g" f
+
+let rec print buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_literal f)
+  | String s -> escape_into buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          print buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | Raw s -> Buffer.add_string buf s
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print buf v;
+  Buffer.contents buf
+
+let raw_compact s =
+  Raw (String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s)
+
+(* -------------------------------------------------------------------- *)
+(* Parsing                                                              *)
+(* -------------------------------------------------------------------- *)
+
+exception Bad of int * string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad (!pos, m))) fmt in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected '%c', found '%c'" c c'
+    | None -> fail "expected '%c', found end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "bad literal (expected %s)" word
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let code = int_of_string ("0x" ^ String.sub text !pos 4) in
+    pos := !pos + 4;
+    code
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = text.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'u' ->
+              let code =
+                match parse_hex4 () with
+                | exception _ -> fail "bad \\u escape"
+                | c -> c
+              in
+              (* Encode the code point as UTF-8 (surrogate pairs are not
+                 reassembled; the protocol only ever escapes control
+                 characters, which are single units). *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              go ()
+          | c -> fail "bad escape '\\%c'" c)
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_number_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}' in object"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']' in array"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character '%c'" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) -> Error (Printf.sprintf "JSON error at offset %d: %s" at msg)
+
+(* -------------------------------------------------------------------- *)
+(* Accessors                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None

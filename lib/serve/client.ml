@@ -1,0 +1,42 @@
+module Json = Ee_export.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let sockaddr = function
+  | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+
+let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
+  let domain, addr = sockaddr address in
+  let rec attempt left =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd }
+    | exception Unix.Unix_error _ when left > 0 ->
+        Unix.close fd;
+        Unix.sleepf retry_delay_s;
+        attempt (left - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  attempt retries
+
+let request_line t line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write t.fd data !off (len - !off)
+  done;
+  input_line t.ic
+
+let request t env =
+  Json.parse (request_line t (Json.to_string (Protocol.envelope_to_json env)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

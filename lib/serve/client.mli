@@ -1,0 +1,20 @@
+(** Blocking NDJSON client for {!Server}. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay_s:float -> Server.address -> t
+(** Connect to a running server.  Retries [retries] (default 0) times with
+    [retry_delay_s] (default 0.1) between attempts — useful right after
+    spawning a daemon.  Raises [Unix.Unix_error] when every attempt
+    fails. *)
+
+val request_line : t -> string -> string
+(** Send one raw request line (no trailing newline) and block for the one
+    response line.  Raises [End_of_file] if the server closes the
+    connection first. *)
+
+val request : t -> Protocol.envelope -> (Ee_export.Json.t, string) result
+(** Encode, send, and decode.  [Error] carries the parse failure if the
+    response line is not valid JSON. *)
+
+val close : t -> unit

@@ -1,0 +1,218 @@
+module Json = Ee_export.Json
+module Engine = Ee_engine.Engine
+
+type request =
+  | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Engine.spec }
+  | Perf of { bench : string; spec : Engine.spec; waves : int }
+  | Faults of { bench : string; spec : Engine.spec; waves : int }
+  | Stats
+  | Ping
+  | Sleep of float
+  | Shutdown
+
+type envelope = {
+  id : Json.t;
+  deadline_s : float option;
+  req : request;
+}
+
+let cmd_name = function
+  | Synth _ -> "synth"
+  | Perf _ -> "perf"
+  | Faults _ -> "faults"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Sleep _ -> "sleep"
+  | Shutdown -> "shutdown"
+
+(* -------------------------------------------------------------------- *)
+(* Decoding                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field_float j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let field_int j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_bool j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok (Some b)
+      | None -> Error (Printf.sprintf "field %S must be a boolean" name))
+
+let field_string j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_string_opt v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let spec_of_json j =
+  let set f = function Some v -> f v | None -> Fun.id in
+  let* threshold = field_float j "threshold" in
+  let* coverage_only = field_bool j "coverage_only" in
+  let* min_coverage = field_float j "min_coverage" in
+  let* share_triggers = field_bool j "share_triggers" in
+  let* vectors = field_int j "vectors" in
+  let* seed = field_int j "seed" in
+  let* gate_delay = field_float j "gate_delay" in
+  let* ee_overhead = field_float j "ee_overhead" in
+  let* selection_name = field_string j "selection" in
+  let* selection =
+    match selection_name with
+    | None -> Ok None
+    | Some s -> (
+        match Engine.selection_of_string s with
+        | Some sel -> Ok (Some sel)
+        | None -> Error (Printf.sprintf "unknown selection %S (use \"eq1\" or \"mcr\")" s))
+  in
+  let* () =
+    match vectors with
+    | Some v when v <= 0 -> Error "\"vectors\" must be positive"
+    | _ -> Ok ()
+  in
+  Ok
+    (Engine.default_spec
+    |> set Engine.with_threshold threshold
+    |> set Engine.with_coverage_only coverage_only
+    |> set Engine.with_min_coverage min_coverage
+    |> set Engine.with_share_triggers share_triggers
+    |> set Engine.with_vectors vectors
+    |> set Engine.with_seed seed
+    |> set Engine.with_gate_delay gate_delay
+    |> set Engine.with_ee_overhead ee_overhead
+    |> set Engine.with_selection selection)
+
+let bench_of_json j =
+  let* bench = field_string j "bench" in
+  match bench with
+  | Some b -> Ok b
+  | None -> Error "missing \"bench\" field"
+
+let request_of_json j =
+  let* cmd =
+    match Json.member "cmd" j with
+    | Some (Json.String c) -> Ok c
+    | Some _ -> Error "field \"cmd\" must be a string"
+    | None -> Error "missing \"cmd\" field"
+  in
+  match cmd with
+  | "synth" ->
+      let* spec = spec_of_json j in
+      let* bench = field_string j "bench" in
+      let* blif = field_string j "blif" in
+      let* source =
+        match (bench, blif) with
+        | Some b, None -> Ok (`Bench b)
+        | None, Some text -> Ok (`Blif text)
+        | Some _, Some _ -> Error "give either \"bench\" or \"blif\", not both"
+        | None, None -> Error "synth needs a \"bench\" id or inline \"blif\" text"
+      in
+      Ok (Synth { source; spec })
+  | "perf" ->
+      let* spec = spec_of_json j in
+      let* bench = bench_of_json j in
+      let* waves = field_int j "waves" in
+      Ok (Perf { bench; spec; waves = Option.value waves ~default:240 })
+  | "faults" ->
+      let* spec = spec_of_json j in
+      let* bench = bench_of_json j in
+      let* waves = field_int j "waves" in
+      Ok (Faults { bench; spec; waves = Option.value waves ~default:16 })
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | "sleep" ->
+      let* s = field_float j "seconds" in
+      Ok (Sleep (Option.value s ~default:0.1))
+  | "shutdown" -> Ok Shutdown
+  | c -> Error (Printf.sprintf "unknown cmd %S" c)
+
+let parse_line line =
+  let* j = Json.parse line in
+  let* req = request_of_json j in
+  let* deadline_s = field_float j "deadline_s" in
+  let* () =
+    match deadline_s with
+    | Some d when d <= 0. -> Error "\"deadline_s\" must be positive"
+    | _ -> Ok ()
+  in
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  Ok { id; deadline_s; req }
+
+(* -------------------------------------------------------------------- *)
+(* Encoding                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let spec_fields (spec : Engine.spec) =
+  let d = Engine.default_spec in
+  let keep name v = Some (name, v) in
+  List.filter_map Fun.id
+    [
+      (if spec.threshold <> d.threshold then keep "threshold" (Json.Float spec.threshold) else None);
+      (if spec.coverage_only <> d.coverage_only then keep "coverage_only" (Json.Bool spec.coverage_only) else None);
+      (if spec.min_coverage <> d.min_coverage then keep "min_coverage" (Json.Float spec.min_coverage) else None);
+      (if spec.share_triggers <> d.share_triggers then keep "share_triggers" (Json.Bool spec.share_triggers) else None);
+      (if spec.vectors <> d.vectors then keep "vectors" (Json.Int spec.vectors) else None);
+      (if spec.seed <> d.seed then keep "seed" (Json.Int spec.seed) else None);
+      (if spec.gate_delay <> d.gate_delay then keep "gate_delay" (Json.Float spec.gate_delay) else None);
+      (if spec.ee_overhead <> d.ee_overhead then keep "ee_overhead" (Json.Float spec.ee_overhead) else None);
+      (if spec.selection <> d.selection then
+         keep "selection" (Json.String (Engine.selection_to_string spec.selection))
+       else None);
+    ]
+
+let envelope_to_json env =
+  let base = [ ("cmd", Json.String (cmd_name env.req)) ] in
+  let id = match env.id with Json.Null -> [] | id -> [ ("id", id) ] in
+  let deadline =
+    match env.deadline_s with Some d -> [ ("deadline_s", Json.Float d) ] | None -> []
+  in
+  let body =
+    match env.req with
+    | Synth { source; spec } ->
+        (match source with
+        | `Bench b -> [ ("bench", Json.String b) ]
+        | `Blif text -> [ ("blif", Json.String text) ])
+        @ spec_fields spec
+    | Perf { bench; spec; waves } ->
+        [ ("bench", Json.String bench); ("waves", Json.Int waves) ] @ spec_fields spec
+    | Faults { bench; spec; waves } ->
+        [ ("bench", Json.String bench); ("waves", Json.Int waves) ] @ spec_fields spec
+    | Stats | Ping | Shutdown -> []
+    | Sleep s -> [ ("seconds", Json.Float s) ]
+  in
+  Json.Obj (base @ id @ deadline @ body)
+
+let ok_response ~id ~cmd ~cached ~elapsed_ms result =
+  Json.to_string
+    (Json.Obj
+       ([ ("status", Json.String "ok"); ("cmd", Json.String cmd) ]
+       @ (match id with Json.Null -> [] | id -> [ ("id", id) ])
+       @ [
+           ("cached", Json.Bool cached);
+           ("elapsed_ms", Json.Float elapsed_ms);
+           ("result", result);
+         ]))
+
+let error_response ~id ~cmd ~code message =
+  Json.to_string
+    (Json.Obj
+       ([ ("status", Json.String "error"); ("cmd", Json.String cmd) ]
+       @ (match id with Json.Null -> [] | id -> [ ("id", id) ])
+       @ [ ("error", Json.String code); ("message", Json.String message) ]))

@@ -1,0 +1,80 @@
+(** The wire protocol of [ee_synthd]: one JSON object per line in each
+    direction (NDJSON), over a Unix-domain or TCP stream socket.
+
+    {2 Requests}
+
+    Every request is an object with a ["cmd"] field and optional ["id"]
+    (any JSON value, echoed back verbatim) and ["deadline_s"] (per-request
+    compute deadline) fields:
+
+    {v
+    {"cmd":"synth","bench":"b04","vectors":100,"seed":2002}
+    {"cmd":"synth","blif":".model m\n...","threshold":50}
+    {"cmd":"perf","bench":"b01","waves":240}
+    {"cmd":"faults","bench":"b01","waves":16}
+    {"cmd":"stats"}
+    {"cmd":"ping"}
+    {"cmd":"sleep","seconds":0.5}
+    {"cmd":"shutdown"}
+    v}
+
+    [synth], [perf] and [faults] accept the spec knobs of
+    {!Ee_engine.Engine.spec} as flat optional fields ([threshold],
+    [coverage_only], [min_coverage], [share_triggers], [vectors], [seed],
+    [gate_delay], [ee_overhead], [selection] = ["eq1"]|["mcr"]); omitted
+    knobs default to {!Ee_engine.Engine.default_spec}.  [synth] takes its
+    netlist either from ["bench"] (an ITC99 id) or from ["blif"] (inline
+    BLIF text, parsed with {!Ee_export.Blif.parse}).  [sleep] occupies a
+    worker for the given time — a debugging aid for exercising deadlines
+    and admission control without burning CPU.
+
+    {2 Responses}
+
+    {v
+    {"status":"ok","cmd":"synth","id":...,"cached":false,"elapsed_ms":12.3,"result":{...}}
+    {"status":"error","cmd":"synth","id":...,"error":"overloaded","message":"..."}
+    v}
+
+    Error codes: [bad_request] (malformed JSON, unknown cmd, bad BLIF),
+    [not_found] (unknown benchmark id), [overloaded] (admission queue
+    full; retry later), [deadline_exceeded] (the deadline elapsed first —
+    the computation still completes in the background and warms the
+    cache), [internal] (the computation raised), [shutting_down].
+    Responses on one connection always arrive in request order. *)
+
+type request =
+  | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Ee_engine.Engine.spec }
+  | Perf of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
+  | Faults of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
+  | Stats
+  | Ping
+  | Sleep of float
+  | Shutdown
+
+type envelope = {
+  id : Ee_export.Json.t;  (** [Null] when the client sent none. *)
+  deadline_s : float option;
+  req : request;
+}
+
+val cmd_name : request -> string
+
+val parse_line : string -> (envelope, string) result
+(** Decode one request line. *)
+
+val envelope_to_json : envelope -> Ee_export.Json.t
+(** Encode a request (the client side).  Spec knobs that equal the default
+    spec's are omitted. *)
+
+val ok_response :
+  id:Ee_export.Json.t ->
+  cmd:string ->
+  cached:bool ->
+  elapsed_ms:float ->
+  Ee_export.Json.t ->
+  string
+(** A single-line ["status":"ok"] response carrying [result]. *)
+
+val error_response :
+  id:Ee_export.Json.t -> cmd:string -> code:string -> string -> string
+(** A single-line ["status":"error"] response. *)

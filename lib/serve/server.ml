@@ -1,0 +1,672 @@
+module Json = Ee_export.Json
+module Blif = Ee_export.Blif
+module Cache = Ee_cache.Cache
+module Pool = Ee_util.Pool
+module Stats = Ee_util.Stats
+module Engine = Ee_engine.Engine
+module Trace = Ee_engine.Trace
+module Pipeline = Ee_report.Pipeline
+module Tables = Ee_report.Tables
+module Itc99 = Ee_bench_circuits.Itc99
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  domains : int;
+  max_pending : int;
+  default_deadline_s : float option;
+  cache_max_bytes : int;
+  cache_dir : string option;
+  trace : Trace.t option;
+  shutdown_grace_s : float;
+  max_request_bytes : int;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    address = `Unix "ee_synthd.sock";
+    domains = Domain.recommended_domain_count ();
+    max_pending = 4 * Domain.recommended_domain_count ();
+    default_deadline_s = None;
+    cache_max_bytes = 64 * 1024 * 1024;
+    cache_dir = None;
+    trace = None;
+    shutdown_grace_s = 5.;
+    max_request_bytes = 8 * 1024 * 1024;
+    log = ignore;
+  }
+
+let cache_of_config cfg =
+  Cache.create ~max_bytes:cfg.cache_max_bytes ?persist_dir:cfg.cache_dir ()
+
+(* -------------------------------------------------------------------- *)
+(* Request computation (runs on pool worker domains)                    *)
+(* -------------------------------------------------------------------- *)
+
+(* A structured rejection: becomes an {"error": code} response instead of
+   "internal". *)
+exception Reject of string * string
+
+(* Canonical BLIF text per benchmark id, so repeated requests skip the
+   RTL-elaboration + export needed to form the content-addressed key.
+   Worker domains may race on the same id; both compute the identical
+   string and the second store is a no-op. *)
+let bench_blif_memo : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let memo_lock = Mutex.create ()
+
+let canonical_bench_blif (b : Itc99.benchmark) =
+  Mutex.lock memo_lock;
+  let cached = Hashtbl.find_opt bench_blif_memo b.Itc99.id in
+  Mutex.unlock memo_lock;
+  match cached with
+  | Some s -> s
+  | None ->
+      let nl = Ee_rtl.Techmap.run_rtl (b.Itc99.build ()) in
+      let s = Blif.to_blif ~model:b.Itc99.id nl in
+      Mutex.lock memo_lock;
+      Hashtbl.replace bench_blif_memo b.Itc99.id s;
+      Mutex.unlock memo_lock;
+      s
+
+let find_bench id =
+  match Engine.find_benchmark id with
+  | Ok b -> b
+  | Error msg -> raise (Reject ("not_found", msg))
+
+let row_json (row : Tables.row) (rep : Ee_core.Synth.report) (spec : Engine.spec) =
+  Json.Obj
+    [
+      ("id", Json.String row.Tables.id);
+      ("description", Json.String row.Tables.description);
+      ("pl_gates", Json.Int row.Tables.pl_gates);
+      ("ee_gates", Json.Int row.Tables.ee_gates);
+      ("eligible_gates", Json.Int rep.Ee_core.Synth.eligible_gates);
+      ("delay_no_ee", Json.Float row.Tables.delay_no_ee);
+      ("delay_ee", Json.Float row.Tables.delay_ee);
+      ("delay_diff", Json.Float row.Tables.delay_diff);
+      ("area_increase_percent", Json.Float row.Tables.area_increase);
+      ("delay_decrease_percent", Json.Float row.Tables.delay_decrease);
+      ("critical_cycle", Json.String row.Tables.critical_cycle);
+      ("selection", Json.String (Engine.selection_to_string spec.Engine.selection));
+      ("vectors", Json.Int spec.Engine.vectors);
+      ("seed", Json.Int spec.Engine.seed);
+    ]
+
+let synth_bench_json ?trace ~spec b =
+  let r = Engine.run ~spec ?trace b in
+  row_json r.Engine.row r.Engine.artifact.Pipeline.synth_report spec
+
+(* The inline-BLIF path: same measurements as a benchmark run, starting
+   from the submitted netlist instead of an RTL build. *)
+let synth_netlist_json ~spec nl =
+  let pl = Ee_phased.Pl.of_netlist nl in
+  let pl_ee, report =
+    match spec.Engine.selection with
+    | Engine.Eq1 -> Ee_core.Synth.run ~options:(Engine.synth_options spec) pl
+    | Engine.Mcr -> Ee_core.Mcr_select.run ~options:(Engine.mcr_options spec) pl
+  in
+  let config = Engine.sim_config spec in
+  let vectors = spec.Engine.vectors and seed = spec.Engine.seed in
+  let base = Ee_sim.Sim.run_random ~config pl ~vectors ~seed in
+  let ee = Ee_sim.Sim.run_random ~config pl_ee ~vectors ~seed in
+  let delay_no_ee = base.Ee_sim.Sim.avg_settle_time in
+  let delay_ee = ee.Ee_sim.Sim.avg_settle_time in
+  let critical_cycle =
+    (Ee_perf.Throughput.analyze ~gate_delay:spec.Engine.gate_delay
+       ~ee_overhead:spec.Engine.ee_overhead pl_ee)
+      .Ee_perf.Throughput.critical_string
+  in
+  let row =
+    {
+      Tables.id = "netlist";
+      description = "inline BLIF netlist";
+      pl_gates = report.Ee_core.Synth.pl_gates;
+      ee_gates = report.Ee_core.Synth.ee_gates;
+      delay_no_ee;
+      delay_ee;
+      delay_diff = delay_no_ee -. delay_ee;
+      area_increase = report.Ee_core.Synth.area_increase_percent;
+      delay_decrease = Stats.percent_change ~before:delay_no_ee ~after:delay_ee;
+      critical_cycle;
+    }
+  in
+  row_json row report spec
+
+let perf_json ~spec ~waves b =
+  let options = Engine.synth_options spec in
+  let config =
+    {
+      Ee_sim.Stream_sim.gate_delay = spec.Engine.gate_delay;
+      ee_overhead = spec.Engine.ee_overhead;
+    }
+  in
+  let r =
+    Ee_report.Perf_report.analyze_bench ~options ~config ~waves ~seed:spec.Engine.seed b
+  in
+  Json.raw_compact
+    (Ee_report.Perf_report.to_json { Ee_report.Perf_report.rows = [ r ]; selection = [] })
+
+let faults_json ~spec ~waves b =
+  let options = Engine.synth_options spec in
+  let a = Pipeline.build ~options b in
+  let r =
+    Ee_fault.Campaign.run ~waves ~seed:spec.Engine.seed ~bench:a.Pipeline.id
+      a.Pipeline.pl_ee a.Pipeline.netlist
+  in
+  Json.raw_compact (Ee_fault.Campaign.to_json r)
+
+let with_cache cache key run =
+  match Cache.find cache key with
+  | Some payload -> (Json.Raw payload, true)
+  | None ->
+      let j = run () in
+      let payload = Json.to_string j in
+      Cache.add cache ~key payload;
+      (Json.Raw payload, false)
+
+let bench_key ~cmd ~blif ~spec extras =
+  Cache.key (cmd :: blif :: Engine.spec_fingerprint spec :: extras)
+
+(* The cache key of a benchmark-sourced request, but only when the
+   canonical BLIF is already memoized: used by the event loop to answer
+   repeat requests inline without occupying a worker.  Never elaborates
+   RTL (that would block the loop), so a cold benchmark returns [None]. *)
+let probe_key (req : Protocol.request) =
+  let memoized bid =
+    Mutex.lock memo_lock;
+    let c = Hashtbl.find_opt bench_blif_memo bid in
+    Mutex.unlock memo_lock;
+    c
+  in
+  match req with
+  | Protocol.Synth { source = `Bench bid; spec } ->
+      Option.map (fun blif -> bench_key ~cmd:"synth" ~blif ~spec []) (memoized bid)
+  | Protocol.Perf { bench; spec; waves } ->
+      Option.map
+        (fun blif -> bench_key ~cmd:"perf" ~blif ~spec [ string_of_int waves ])
+        (memoized bench)
+  | Protocol.Faults { bench; spec; waves } ->
+      Option.map
+        (fun blif -> bench_key ~cmd:"faults" ~blif ~spec [ string_of_int waves ])
+        (memoized bench)
+  | Protocol.Synth { source = `Blif _; _ }
+  | Protocol.Stats | Protocol.Ping | Protocol.Sleep _ | Protocol.Shutdown ->
+      None
+
+let with_trace trace ~bench name f =
+  match trace with None -> f () | Some t -> Trace.with_span t ~bench name f
+
+(* Returns (result payload, served-from-cache). *)
+let compute ~trace ~cache (req : Protocol.request) =
+  match req with
+  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+      invalid_arg "Server.compute: inline command" (* handled by the event loop *)
+  | Protocol.Sleep s ->
+      with_trace trace ~bench:"" "sleep" (fun () ->
+          Unix.sleepf s;
+          (Json.Obj [ ("slept_s", Json.Float s) ], false))
+  | Protocol.Synth { source; spec } -> (
+      match source with
+      | `Bench bid ->
+          let b = find_bench bid in
+          with_trace trace ~bench:bid "synth" (fun () ->
+              let key = bench_key ~cmd:"synth" ~blif:(canonical_bench_blif b) ~spec [] in
+              with_cache cache key (fun () -> synth_bench_json ?trace ~spec b))
+      | `Blif text -> (
+          match Blif.parse text with
+          | Error e -> raise (Reject ("bad_request", e))
+          | Ok nl ->
+              with_trace trace ~bench:"netlist" "synth" (fun () ->
+                  let key = bench_key ~cmd:"synth" ~blif:(Blif.to_blif nl) ~spec [] in
+                  with_cache cache key (fun () -> synth_netlist_json ~spec nl))))
+  | Protocol.Perf { bench; spec; waves } ->
+      let b = find_bench bench in
+      with_trace trace ~bench "perf" (fun () ->
+          let key =
+            bench_key ~cmd:"perf" ~blif:(canonical_bench_blif b) ~spec
+              [ string_of_int waves ]
+          in
+          with_cache cache key (fun () -> perf_json ~spec ~waves b))
+  | Protocol.Faults { bench; spec; waves } ->
+      let b = find_bench bench in
+      with_trace trace ~bench "faults" (fun () ->
+          let key =
+            bench_key ~cmd:"faults" ~blif:(canonical_bench_blif b) ~spec
+              [ string_of_int waves ]
+          in
+          with_cache cache key (fun () -> faults_json ~spec ~waves b))
+
+(* -------------------------------------------------------------------- *)
+(* Metrics                                                              *)
+(* -------------------------------------------------------------------- *)
+
+(* Last-N latency samples per command; order does not matter for
+   percentiles, so a plain circular overwrite suffices. *)
+type lat_ring = { samples : float array; mutable seen : int }
+
+let ring_capacity = 4096
+
+let ring_add r v =
+  r.samples.(r.seen mod ring_capacity) <- v;
+  r.seen <- r.seen + 1
+
+let ring_values r = Array.sub r.samples 0 (min r.seen ring_capacity)
+
+type metrics = {
+  mutable total : int;
+  ok_counts : (string, int ref) Hashtbl.t;  (* cmd -> ok responses *)
+  err_counts : (string * string, int ref) Hashtbl.t;  (* cmd, code -> count *)
+  lats : (string, lat_ring) Hashtbl.t;
+  started : float;
+}
+
+let metrics_create () =
+  {
+    total = 0;
+    ok_counts = Hashtbl.create 8;
+    err_counts = Hashtbl.create 8;
+    lats = Hashtbl.create 8;
+    started = Unix.gettimeofday ();
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let record m ~cmd ~outcome ~lat_ms =
+  m.total <- m.total + 1;
+  (match outcome with
+  | `Ok -> bump m.ok_counts cmd
+  | `Error code -> bump m.err_counts (cmd, code));
+  let ring =
+    match Hashtbl.find_opt m.lats cmd with
+    | Some r -> r
+    | None ->
+        let r = { samples = Array.make ring_capacity 0.; seen = 0 } in
+        Hashtbl.replace m.lats cmd r;
+        r
+  in
+  ring_add ring lat_ms
+
+let metrics_json m ~inflight ~max_pending ~cache =
+  let cmds =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun cmd _ acc -> cmd :: acc) m.ok_counts []
+      @ Hashtbl.fold (fun (cmd, _) _ acc -> cmd :: acc) m.err_counts [])
+  in
+  let command_json cmd =
+    let ok = match Hashtbl.find_opt m.ok_counts cmd with Some r -> !r | None -> 0 in
+    let errors =
+      Hashtbl.fold
+        (fun (c, code) r acc -> if c = cmd then (code, Json.Int !r) :: acc else acc)
+        m.err_counts []
+    in
+    let count = ok + List.fold_left (fun acc (_, j) -> acc + Option.get (Json.to_int j)) 0 errors in
+    let latency =
+      match Hashtbl.find_opt m.lats cmd with
+      | Some r when r.seen > 0 ->
+          let values = ring_values r in
+          let p q = Json.Float (Stats.percentile values q) in
+          [
+            ("latency_ms",
+             Json.Obj
+               [ ("p50", p 50.); ("p90", p 90.); ("p99", p 99.); ("max", p 100.) ]);
+          ]
+      | _ -> []
+    in
+    ( cmd,
+      Json.Obj
+        ([ ("count", Json.Int count); ("ok", Json.Int ok) ]
+        @ (if errors = [] then [] else [ ("errors", Json.Obj (List.sort compare errors)) ])
+        @ latency) )
+  in
+  let cs = Cache.stats cache in
+  let looked_up = cs.Cache.hits + cs.Cache.disk_hits + cs.Cache.misses in
+  let hit_rate =
+    if looked_up = 0 then Json.Null
+    else Json.Float (float_of_int (cs.Cache.hits + cs.Cache.disk_hits) /. float_of_int looked_up)
+  in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. m.started));
+      ("requests_total", Json.Int m.total);
+      ("inflight", Json.Int inflight);
+      ("queue_limit", Json.Int max_pending);
+      ("commands", Json.Obj (List.map command_json cmds));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int cs.Cache.hits);
+            ("disk_hits", Json.Int cs.Cache.disk_hits);
+            ("misses", Json.Int cs.Cache.misses);
+            ("insertions", Json.Int cs.Cache.insertions);
+            ("evictions", Json.Int cs.Cache.evictions);
+            ("entries", Json.Int cs.Cache.entries);
+            ("bytes", Json.Int cs.Cache.bytes);
+            ("max_bytes", Json.Int cs.Cache.max_bytes);
+            ("hit_rate", hit_rate);
+          ] );
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Event loop                                                           *)
+(* -------------------------------------------------------------------- *)
+
+type entry =
+  | Ready of { line : string; cmd : string; outcome : [ `Ok | `Error of string ]; t0 : float }
+  | Running of {
+      task : (Json.t * bool) Pool.task;
+      cmd : string;
+      id : Json.t;
+      t0 : float;
+      deadline : float option;  (* absolute *)
+    }
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  queue : entry Queue.t;
+  mutable alive : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let listen_socket = function
+  | `Unix path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let write_all conn line =
+  if conn.alive then
+    let data = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length data in
+    let off = ref 0 in
+    try
+      while !off < len do
+        off := !off + Unix.write conn.fd data !off (len - !off)
+      done
+    with Unix.Unix_error _ -> conn.alive <- false
+
+let serve ?cache ?stop cfg =
+  let cache = match cache with Some c -> c | None -> cache_of_config cfg in
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
+  (match Sys.os_type with
+  | "Unix" -> ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  | _ -> ());
+  let listen_fd = listen_socket cfg.address in
+  Unix.set_nonblock listen_fd;
+  let pool = Pool.create ~force_spawn:true ~domains:cfg.domains () in
+  let inflight = Atomic.make 0 in
+  let metrics = metrics_create () in
+  let conns : conn list ref = ref [] in
+  let listen_open = ref true in
+  let stop_at = ref None in
+  cfg.log
+    (Printf.sprintf "listening on %s (domains=%d queue=%d cache=%dMiB)"
+       (match cfg.address with
+       | `Unix p -> "unix:" ^ p
+       | `Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+       (Pool.size pool) cfg.max_pending
+       (cfg.cache_max_bytes / (1024 * 1024)));
+
+  let submit req =
+    Atomic.incr inflight;
+    match
+      Pool.submit pool (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Atomic.decr inflight)
+            (fun () -> compute ~trace:cfg.trace ~cache req))
+    with
+    | task -> task
+    | exception e ->
+        Atomic.decr inflight;
+        raise e
+  in
+
+  let handle_line conn line =
+    let t0 = now () in
+    let ready ~cmd ~outcome resp =
+      Queue.add (Ready { line = resp; cmd; outcome; t0 }) conn.queue
+    in
+    match Protocol.parse_line line with
+    | Error msg ->
+        ready ~cmd:"?" ~outcome:(`Error "bad_request")
+          (Protocol.error_response ~id:Json.Null ~cmd:"?" ~code:"bad_request" msg)
+    | Ok env -> (
+        let cmd = Protocol.cmd_name env.Protocol.req in
+        let id = env.Protocol.id in
+        if Atomic.get stop then
+          ready ~cmd ~outcome:(`Error "shutting_down")
+            (Protocol.error_response ~id ~cmd ~code:"shutting_down"
+               "server is shutting down")
+        else
+          match env.Protocol.req with
+          | Protocol.Stats ->
+              ready ~cmd ~outcome:`Ok
+                (Protocol.ok_response ~id ~cmd ~cached:false
+                   ~elapsed_ms:((now () -. t0) *. 1000.)
+                   (metrics_json metrics ~inflight:(Atomic.get inflight)
+                      ~max_pending:cfg.max_pending ~cache))
+          | Protocol.Ping ->
+              ready ~cmd ~outcome:`Ok
+                (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0.
+                   (Json.Obj []))
+          | Protocol.Shutdown ->
+              cfg.log "shutdown requested";
+              Atomic.set stop true;
+              ready ~cmd ~outcome:`Ok
+                (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0.
+                   (Json.Obj [ ("stopping", Json.Bool true) ]))
+          | (Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ | Protocol.Sleep _)
+            as req -> (
+              (* Fast path: a repeat of a benchmark request whose canonical
+                 BLIF is memoized can be answered from the cache inline,
+                 without occupying a worker or waiting a loop tick. *)
+              match Option.bind (probe_key req) (Cache.find cache) with
+              | Some payload ->
+                  ready ~cmd ~outcome:`Ok
+                    (Protocol.ok_response ~id ~cmd ~cached:true
+                       ~elapsed_ms:((now () -. t0) *. 1000.)
+                       (Json.Raw payload))
+              | None ->
+                  if Atomic.get inflight >= cfg.max_pending then
+                    ready ~cmd ~outcome:(`Error "overloaded")
+                      (Protocol.error_response ~id ~cmd ~code:"overloaded"
+                         (Printf.sprintf "admission queue full (%d in flight)"
+                            cfg.max_pending))
+                  else
+                    let deadline =
+                      match (env.Protocol.deadline_s, cfg.default_deadline_s) with
+                      | Some d, _ | None, Some d -> Some (t0 +. d)
+                      | None, None -> None
+                    in
+                    Queue.add
+                      (Running { task = submit req; cmd; id; t0; deadline })
+                      conn.queue))
+  in
+
+  let process_input conn =
+    let rec split () =
+      match String.index_opt conn.inbuf '\n' with
+      | None -> ()
+      | Some i ->
+          let line = String.sub conn.inbuf 0 i in
+          conn.inbuf <-
+            String.sub conn.inbuf (i + 1) (String.length conn.inbuf - i - 1);
+          let line =
+            if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if line <> "" then handle_line conn line;
+          split ()
+    in
+    split ();
+    if String.length conn.inbuf > cfg.max_request_bytes then begin
+      write_all conn
+        (Protocol.error_response ~id:Json.Null ~cmd:"?" ~code:"bad_request"
+           (Printf.sprintf "request exceeds %d bytes" cfg.max_request_bytes));
+      conn.alive <- false
+    end
+  in
+
+  let read_chunk conn =
+    let buf = Bytes.create 65536 in
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> conn.alive <- false
+    | k ->
+        conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 k;
+        process_input conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> conn.alive <- false
+  in
+
+  (* Deliver responses in request order: only the queue head may answer. *)
+  let pump conn =
+    let continue = ref true in
+    while !continue && conn.alive && not (Queue.is_empty conn.queue) do
+      match Queue.peek conn.queue with
+      | Ready { line; cmd; outcome; t0 } ->
+          ignore (Queue.pop conn.queue);
+          write_all conn line;
+          record metrics ~cmd ~outcome ~lat_ms:((now () -. t0) *. 1000.)
+      | Running { task; cmd; id; t0; deadline } -> (
+          match Pool.await_timeout task ~timeout_s:0. with
+          | Ok (payload, cached) ->
+              ignore (Queue.pop conn.queue);
+              write_all conn
+                (Protocol.ok_response ~id ~cmd ~cached
+                   ~elapsed_ms:((now () -. t0) *. 1000.)
+                   payload);
+              record metrics ~cmd ~outcome:`Ok ~lat_ms:((now () -. t0) *. 1000.)
+          | Error (`Failed (Reject (code, msg), _)) ->
+              ignore (Queue.pop conn.queue);
+              write_all conn (Protocol.error_response ~id ~cmd ~code msg);
+              record metrics ~cmd ~outcome:(`Error code)
+                ~lat_ms:((now () -. t0) *. 1000.)
+          | Error (`Failed (e, _)) ->
+              ignore (Queue.pop conn.queue);
+              write_all conn
+                (Protocol.error_response ~id ~cmd ~code:"internal"
+                   (Printexc.to_string e));
+              record metrics ~cmd ~outcome:(`Error "internal")
+                ~lat_ms:((now () -. t0) *. 1000.)
+          | Error `Timed_out -> (
+              (* Still pending; the name refers to the 0 s poll window. *)
+              match deadline with
+              | Some d when now () >= d ->
+                  ignore (Queue.pop conn.queue);
+                  write_all conn
+                    (Protocol.error_response ~id ~cmd ~code:"deadline_exceeded"
+                       (Printf.sprintf
+                          "no result within %.3fs; the computation continues and \
+                           will warm the cache"
+                          (d -. t0)));
+                  record metrics ~cmd ~outcome:(`Error "deadline_exceeded")
+                    ~lat_ms:((now () -. t0) *. 1000.)
+              | _ -> continue := false))
+    done
+  in
+
+  let flush_shutting_down conn =
+    Queue.iter
+      (function
+        | Running { cmd; id; _ } ->
+            write_all conn
+              (Protocol.error_response ~id ~cmd ~code:"shutting_down"
+                 "server stopped before the computation finished")
+        | Ready { line; _ } -> write_all conn line)
+      conn.queue;
+    Queue.clear conn.queue
+  in
+
+  let accept_new () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | fd, _ ->
+          conns :=
+            { fd; inbuf = ""; queue = Queue.create (); alive = true } :: !conns
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error _ -> continue := false
+    done
+  in
+
+  let rec loop () =
+    let stopping = Atomic.get stop in
+    if stopping then begin
+      if !stop_at = None then stop_at := Some (now ());
+      if !listen_open then begin
+        Unix.close listen_fd;
+        listen_open := false
+      end
+    end;
+    (* Drop closed connections. *)
+    conns :=
+      List.filter
+        (fun c ->
+          if c.alive then true
+          else begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end)
+        !conns;
+    let drained = List.for_all (fun c -> Queue.is_empty c.queue) !conns in
+    let grace_over =
+      match !stop_at with Some t -> now () -. t > cfg.shutdown_grace_s | None -> false
+    in
+    if stopping && (drained || grace_over) then begin
+      if not drained then List.iter flush_shutting_down !conns
+    end
+    else begin
+      let fds =
+        (if !listen_open then [ listen_fd ] else [])
+        @ List.map (fun c -> c.fd) !conns
+      in
+      let readable, _, _ =
+        match Unix.select fds [] [] 0.02 with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+      in
+      if !listen_open && List.mem listen_fd readable then accept_new ();
+      List.iter
+        (fun c -> if c.alive && List.mem c.fd readable then read_chunk c)
+        !conns;
+      List.iter pump !conns;
+      loop ()
+    end
+  in
+  loop ();
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  if !listen_open then Unix.close listen_fd;
+  (match cfg.address with
+  | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Tcp _ -> ());
+  (* A worker stuck past its deadline would block a joining shutdown. *)
+  let leftover = Atomic.get inflight in
+  if leftover = 0 then Pool.shutdown pool else Pool.abandon pool;
+  cfg.log
+    (if leftover = 0 then Printf.sprintf "stopped after %d requests" metrics.total
+     else
+       Printf.sprintf "stopped after %d requests (%d abandoned in flight)"
+         metrics.total leftover)

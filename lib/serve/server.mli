@@ -1,0 +1,61 @@
+(** The [ee_synthd] synthesis service: a single-threaded socket event loop
+    in front of an {!Ee_util.Pool} of worker domains and an
+    {!Ee_cache.Cache} of content-addressed results.
+
+    Serving model:
+    - one accept loop multiplexes every connection with [Unix.select];
+      requests are NDJSON lines ({!Protocol});
+    - [synth]/[perf]/[faults]/[sleep] requests are admitted onto the pool
+      if fewer than [max_pending] are in flight, otherwise rejected
+      immediately with a structured [overloaded] error (the server never
+      queues unboundedly and never blocks on a slow computation);
+    - each admitted request may carry a deadline (its own ["deadline_s"],
+      else [default_deadline_s]); when it expires the client gets a
+      [deadline_exceeded] error while the computation finishes in the
+      background and still populates the cache (OCaml domains cannot be
+      cancelled);
+    - results are cached under a digest of (request kind, canonical BLIF
+      of the netlist, {!Ee_engine.Engine.spec_fingerprint}, run
+      parameters), so a repeated request is served from memory without
+      re-synthesis;
+    - [stats]/[ping]/[shutdown] are answered inline by the event loop.
+
+    Responses on one connection are delivered in request order; concurrency
+    across requests comes from multiple connections. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  domains : int;  (** Worker domains in the compute pool. *)
+  max_pending : int;  (** Admission bound: max requests in flight. *)
+  default_deadline_s : float option;  (** Per-request default; [None] = no deadline. *)
+  cache_max_bytes : int;
+  cache_dir : string option;  (** Persist cache entries here when set. *)
+  trace : Ee_engine.Trace.t option;
+      (** When set, every request records a span (and [synth] its pipeline
+          stages).  Spans accumulate for the server's lifetime — meant for
+          bounded profiling sessions, not always-on production use. *)
+  shutdown_grace_s : float;
+      (** How long shutdown waits for in-flight requests before answering
+          them with [shutting_down]. *)
+  max_request_bytes : int;  (** Per-connection line-length bound. *)
+  log : string -> unit;  (** Daemon log sink ([prerr_endline] or [ignore]). *)
+}
+
+val default_config : config
+(** Unix socket ["ee_synthd.sock"], pool of
+    [Domain.recommended_domain_count], [max_pending] = 4× domains, no
+    default deadline, 64 MiB in-memory cache, no persistence, no trace,
+    5 s grace, 8 MiB request bound, silent log. *)
+
+val cache_of_config : config -> Ee_cache.Cache.t
+(** The cache [serve] would create — exposed so tests and benches can
+    inspect a shared instance by building it first and passing it via
+    {!serve}'s [?cache]. *)
+
+val serve : ?cache:Ee_cache.Cache.t -> ?stop:bool Atomic.t -> config -> unit
+(** Run the service until a [shutdown] request arrives or [stop] (checked
+    every loop tick, settable from a signal handler) becomes true.  Binds
+    the socket, owns it for the duration, and removes a Unix socket file on
+    exit.  Raises [Unix.Unix_error] if the address cannot be bound. *)

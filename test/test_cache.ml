@@ -1,0 +1,131 @@
+(* The content-addressed result cache: key discipline, LRU eviction under a
+   byte budget, disk persistence, and concurrent access. *)
+
+module Cache = Ee_cache.Cache
+
+let test_key_separation () =
+  (* The length-prefixed separator must keep part boundaries distinct. *)
+  Alcotest.(check bool) "ab|c <> a|bc" true (Cache.key [ "ab"; "c" ] <> Cache.key [ "a"; "bc" ]);
+  Alcotest.(check bool) "order-sensitive" true (Cache.key [ "a"; "b" ] <> Cache.key [ "b"; "a" ]);
+  Alcotest.(check string) "deterministic" (Cache.key [ "x"; "y" ]) (Cache.key [ "x"; "y" ]);
+  Alcotest.(check bool) "empty parts distinct" true
+    (Cache.key [ "" ] <> Cache.key [ ""; "" ])
+
+let test_find_add_counters () =
+  let c = Cache.create () in
+  let k = Cache.key [ "synth"; "netlist-text"; "spec" ] in
+  Alcotest.(check (option string)) "miss before add" None (Cache.find c k);
+  Cache.add c ~key:k "payload";
+  Alcotest.(check (option string)) "hit after add" (Some "payload") (Cache.find c k);
+  Cache.add c ~key:k "payload2";
+  Alcotest.(check (option string)) "refresh replaces" (Some "payload2") (Cache.find c k);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "insertions" 2 s.Cache.insertions;
+  Alcotest.(check int) "entries" 1 s.Cache.entries
+
+let test_lru_eviction () =
+  (* Budget fits ~3 of these entries; the least recently used must go. *)
+  let payload = String.make 100 'x' in
+  let entry_bytes = 100 + String.length (Cache.key [ "0" ]) in
+  let c = Cache.create ~max_bytes:(3 * entry_bytes) () in
+  let key i = Cache.key [ string_of_int i ] in
+  Cache.add c ~key:(key 1) payload;
+  Cache.add c ~key:(key 2) payload;
+  Cache.add c ~key:(key 3) payload;
+  (* Touch 1 so 2 becomes the LRU victim. *)
+  Alcotest.(check bool) "1 still present" true (Cache.find c (key 1) <> None);
+  Cache.add c ~key:(key 4) payload;
+  Alcotest.(check (option string)) "LRU entry 2 evicted" None (Cache.find c (key 2));
+  Alcotest.(check bool) "recent entries survive" true
+    (Cache.find c (key 1) <> None && Cache.find c (key 3) <> None && Cache.find c (key 4) <> None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check bool) "budget honoured" true (s.Cache.bytes <= s.Cache.max_bytes)
+
+let test_oversize_value () =
+  let c = Cache.create ~max_bytes:64 () in
+  Cache.add c ~key:(Cache.key [ "big" ]) (String.make 1000 'y');
+  let s = Cache.stats c in
+  Alcotest.(check int) "oversize value not kept in memory" 0 s.Cache.entries;
+  Alcotest.(check int) "no lingering bytes" 0 s.Cache.bytes
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ee_cache_test_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let test_persistence () =
+  with_temp_dir (fun dir ->
+      let k = Cache.key [ "persisted" ] in
+      let c1 = Cache.create ~persist_dir:dir () in
+      Cache.add c1 ~key:k "survives restarts";
+      (* A second cache over the same directory — as after a daemon
+         restart — must serve the entry from disk and re-populate memory. *)
+      let c2 = Cache.create ~persist_dir:dir () in
+      Alcotest.(check (option string)) "served from disk" (Some "survives restarts")
+        (Cache.find c2 k);
+      let s = Cache.stats c2 in
+      Alcotest.(check int) "counted as a disk hit" 1 s.Cache.disk_hits;
+      Alcotest.(check int) "now resident" 1 s.Cache.entries;
+      (* Second lookup is a memory hit. *)
+      ignore (Cache.find c2 k);
+      Alcotest.(check int) "memory hit after re-population" 1 (Cache.stats c2).Cache.hits)
+
+let test_clear () =
+  let c = Cache.create () in
+  Cache.add c ~key:(Cache.key [ "a" ]) "1";
+  Cache.add c ~key:(Cache.key [ "b" ]) "2";
+  Cache.clear c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "no entries" 0 s.Cache.entries;
+  Alcotest.(check int) "no bytes" 0 s.Cache.bytes;
+  Alcotest.(check (option string)) "entries gone" None (Cache.find c (Cache.key [ "a" ]))
+
+let test_concurrent_access () =
+  (* Several domains hammering a small cache: no crash, no torn values —
+     every successful find returns exactly the payload its key encodes. *)
+  let c = Cache.create ~max_bytes:4096 () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for i = 1 to 500 do
+              let v = (d * 10) + (i mod 17) in
+              let k = Cache.key [ "shared"; string_of_int v ] in
+              let payload = Printf.sprintf "value-%d" v in
+              Cache.add c ~key:k payload;
+              (match Cache.find c k with
+              | Some got when got <> payload -> ok := false
+              | _ -> ())
+            done;
+            !ok))
+  in
+  Alcotest.(check bool) "no torn reads under contention" true
+    (List.for_all Fun.id (List.map Domain.join domains));
+  let s = Cache.stats c in
+  Alcotest.(check bool) "budget honoured under contention" true
+    (s.Cache.bytes <= s.Cache.max_bytes)
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "key separation" `Quick test_key_separation;
+      Alcotest.test_case "find/add counters" `Quick test_find_add_counters;
+      Alcotest.test_case "LRU eviction under byte budget" `Quick test_lru_eviction;
+      Alcotest.test_case "oversize value bypasses memory" `Quick test_oversize_value;
+      Alcotest.test_case "disk persistence across restart" `Quick test_persistence;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "concurrent domains" `Quick test_concurrent_access;
+    ] )

@@ -82,6 +82,73 @@ let test_pool_await_timeout () =
   | _ -> Alcotest.fail "submit after abandon should raise"
   | exception Invalid_argument _ -> ()
 
+(* try_await and abandon with several domains submitting into one pool at
+   once: every submitter must get its own results back (no cross-talk),
+   and an abandon racing live submitters must leave each task either
+   completed or permanently pending — never delivered to the wrong
+   caller. *)
+let test_pool_concurrent_submitters () =
+  Pool.with_pool ~domains:4 (fun p ->
+      let submitters = 6 and per = 25 in
+      let drivers =
+        List.init submitters (fun s ->
+            Domain.spawn (fun () ->
+                List.init per (fun i ->
+                    let v = (s * 1000) + i in
+                    let t =
+                      Pool.submit p (fun () -> if v mod 7 = 0 then raise (Boom v) else v)
+                    in
+                    (v, t))
+                |> List.map (fun (v, t) ->
+                       match Pool.try_await t with
+                       | Ok got -> got = v && v mod 7 <> 0
+                       | Error (Boom got, _) -> got = v && v mod 7 = 0
+                       | Error _ -> false)))
+      in
+      let ok = List.for_all (List.for_all Fun.id) (List.map Domain.join drivers) in
+      Alcotest.(check bool) "every submitter saw exactly its own results" true ok)
+
+let test_pool_abandon_under_concurrent_submitters () =
+  let p = Pool.create ~force_spawn:true ~domains:2 () in
+  let hung = List.init 2 (fun _ -> Pool.submit p (fun () -> Unix.sleepf 30.)) in
+  (* Submitters keep firing while the main domain abandons the pool;
+     submissions racing the abandon may land or raise Invalid_argument,
+     but nothing else, and none may block. *)
+  let drivers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let accepted = ref 0 and refused = ref 0 in
+            for _ = 1 to 50 do
+              match Pool.submit p (fun () -> ()) with
+              | _ -> incr accepted
+              | exception Invalid_argument _ -> incr refused
+            done;
+            (!accepted, !refused)))
+  in
+  Unix.sleepf 0.05;
+  let t0 = Unix.gettimeofday () in
+  Pool.abandon p;
+  Alcotest.(check bool) "abandon does not join hung workers" true
+    (Unix.gettimeofday () -. t0 < 5.0);
+  let totals = List.map Domain.join drivers in
+  List.iter
+    (fun (accepted, refused) ->
+      Alcotest.(check int) "every racing submit either landed or was refused" 50
+        (accepted + refused))
+    totals;
+  (* After abandon everything is refused. *)
+  (match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after abandon should raise"
+  | exception Invalid_argument _ -> ());
+  (* The hung tasks were dropped or still running — but an await_timeout
+     on them must come back, not hang. *)
+  List.iter
+    (fun t ->
+      match Pool.await_timeout t ~timeout_s:0.2 with
+      | Error `Timed_out | Error (`Failed _) -> ()
+      | Ok _ -> Alcotest.fail "hung task cannot have completed")
+    hung
+
 let small_spec = Engine.default_spec |> Engine.with_vectors 5 |> Engine.with_seed 11
 
 let fake_bench id build =
@@ -126,6 +193,46 @@ let test_suite_deadline_on_hung_benchmark () =
       Alcotest.(check bool) "flagged as a deadline overrun" true f.Engine.timed_out
   | fs -> Alcotest.fail (Printf.sprintf "expected exactly the hung row, got %d failures" (List.length fs)));
   Alcotest.(check int) "healthy benchmarks unaffected" 2 (List.length (Engine.ok_results s))
+
+(* A non-positive deadline must be rejected loudly, not silently treated
+   as "no deadline". *)
+let test_suite_rejects_bad_deadline () =
+  let benchmarks = [ Ee_bench_circuits.Itc99.find "b01" ] in
+  List.iter
+    (fun d ->
+      match Engine.run_suite ~spec:small_spec ~deadline_s:d ~benchmarks () with
+      | _ -> Alcotest.failf "deadline_s = %g should raise" d
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "message names deadline_s" true
+            (count_substring msg "deadline_s" = 1))
+    [ 0.; -1.; -0.001 ]
+
+let test_spec_fingerprint () =
+  let base = Engine.default_spec in
+  Alcotest.(check string) "stable across calls" (Engine.spec_fingerprint base)
+    (Engine.spec_fingerprint base);
+  (* Every knob must perturb the fingerprint. *)
+  let variants =
+    [
+      Engine.with_threshold 1. base;
+      Engine.with_coverage_only true base;
+      Engine.with_min_coverage 1. base;
+      Engine.with_share_triggers true base;
+      Engine.with_vectors 7 base;
+      Engine.with_seed 7 base;
+      Engine.with_gate_delay 2. base;
+      Engine.with_ee_overhead 0.75 base;
+      Engine.with_selection Engine.Mcr base;
+    ]
+  in
+  let fps = List.map Engine.spec_fingerprint variants in
+  let all = Engine.spec_fingerprint base :: fps in
+  Alcotest.(check int) "all fingerprints distinct" (List.length all)
+    (List.length (List.sort_uniq compare all));
+  Alcotest.(check bool) "selection names roundtrip" true
+    (Engine.selection_of_string (Engine.selection_to_string Engine.Mcr) = Some Engine.Mcr
+    && Engine.selection_of_string (Engine.selection_to_string Engine.Eq1) = Some Engine.Eq1
+    && Engine.selection_of_string "nope" = None)
 
 let test_suite_parallel_matches_sequential () =
   let s1 = Engine.run_suite ~spec:small_spec ~domains:1 () in
@@ -266,7 +373,14 @@ let suite =
       Alcotest.test_case "pool: submit after shutdown" `Quick test_pool_submit_after_shutdown;
       Alcotest.test_case "pool: try_await captures failures" `Quick test_pool_try_await;
       Alcotest.test_case "pool: await_timeout gives up on hung tasks" `Quick test_pool_await_timeout;
+      Alcotest.test_case "pool: concurrent submitters keep results separate" `Quick
+        test_pool_concurrent_submitters;
+      Alcotest.test_case "pool: abandon races concurrent submitters safely" `Quick
+        test_pool_abandon_under_concurrent_submitters;
       Alcotest.test_case "suite: crash degrades to an error row" `Quick test_suite_isolates_crash;
+      Alcotest.test_case "suite: rejects non-positive deadline" `Quick
+        test_suite_rejects_bad_deadline;
+      Alcotest.test_case "spec fingerprint injective over knobs" `Quick test_spec_fingerprint;
       Alcotest.test_case "suite: deadline bounds a hung benchmark" `Quick
         test_suite_deadline_on_hung_benchmark;
       Alcotest.test_case "suite: 4 domains == sequential" `Slow test_suite_parallel_matches_sequential;

@@ -29,12 +29,28 @@ let equiv_netlists a b cycles seed =
   done
 
 let test_blif_roundtrip () =
+  (* parse (to_blif n) must accept and reproduce every ITC99 netlist. *)
   List.iter
-    (fun id ->
-      let nl = netlist_of id in
-      let nl' = Blif.of_blif (Blif.to_blif ~model:id nl) in
-      equiv_netlists nl nl' 80 11)
-    [ "b01"; "b02"; "b06"; "b09"; "b11" ]
+    (fun b ->
+      let id = b.Ee_bench_circuits.Itc99.id in
+      let nl = Ee_rtl.Techmap.run_rtl (b.Ee_bench_circuits.Itc99.build ()) in
+      match Blif.parse (Blif.to_blif ~model:id nl) with
+      | Error msg -> Alcotest.failf "%s: %s" id msg
+      | Ok nl' ->
+          (* The exporter may insert buffer LUTs, so gate counts are not
+             preserved; state element count and behaviour are. *)
+          Alcotest.(check int) (id ^ " dff count") (Netlist.dff_count nl)
+            (Netlist.dff_count nl');
+          equiv_netlists nl nl' 80 11)
+    Ee_bench_circuits.Itc99.all
+
+let test_blif_parse_error_result () =
+  (* Blif.parse is the non-raising face of of_blif. *)
+  match Blif.parse ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error msg ->
+      Alcotest.(check bool) "mentions the line" true
+        (Astring_contains.contains msg "line")
 
 let test_blif_parse_handwritten () =
   let text =
@@ -139,7 +155,8 @@ let test_vhdl_deterministic () =
 let suite =
   ( "export",
     [
-      Alcotest.test_case "blif roundtrip" `Quick test_blif_roundtrip;
+      Alcotest.test_case "blif roundtrip (all 15)" `Quick test_blif_roundtrip;
+      Alcotest.test_case "blif parse error result" `Quick test_blif_parse_error_result;
       Alcotest.test_case "blif handwritten" `Quick test_blif_parse_handwritten;
       Alcotest.test_case "blif latch" `Quick test_blif_latch;
       Alcotest.test_case "blif off cover" `Quick test_blif_off_cover;

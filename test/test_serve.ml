@@ -1,0 +1,315 @@
+(* The synthesis service: JSON codec, wire protocol, and an end-to-end
+   daemon exercise over a Unix socket — caching, admission control,
+   deadlines, and clean shutdown. *)
+
+module Json = Ee_export.Json
+module Protocol = Ee_serve.Protocol
+module Server = Ee_serve.Server
+module Client = Ee_serve.Client
+module Engine = Ee_engine.Engine
+
+(* ---------------- Json codec ---------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("s", Json.String "line1\nline2 \"quoted\" \\ tab\t");
+        ("l", Json.List [ Json.Int 1; Json.Obj [ ("k", Json.String "v") ]; Json.Null ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  let s = Json.to_string doc in
+  Alcotest.(check bool) "single line" false (String.contains s '\n');
+  (match Json.parse s with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.fail e);
+  (* Numbers: integral stays Int, fractional becomes Float. *)
+  (match Json.parse "{\"a\":3,\"b\":3.25,\"c\":-0.5e1}" with
+  | Ok j ->
+      Alcotest.(check (option int)) "int" (Some 3) (Option.bind (Json.member "a" j) Json.to_int);
+      Alcotest.(check bool) "float" true (Json.member "b" j = Some (Json.Float 3.25));
+      Alcotest.(check bool) "exponent" true (Json.member "c" j = Some (Json.Float (-5.)))
+  | Error e -> Alcotest.fail e);
+  (* Unicode escapes decode to UTF-8. *)
+  (match Json.parse "\"a\\u00e9b\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "utf8" "a\xc3\xa9b" s
+  | _ -> Alcotest.fail "unicode escape")
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "should reject %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "nan" ]
+
+let test_json_raw_compact () =
+  let multi = "{\n  \"x\": 1\n}" in
+  let s = Json.to_string (Json.Obj [ ("payload", Json.raw_compact multi) ]) in
+  Alcotest.(check bool) "no newline" false (String.contains s '\n');
+  match Json.parse s with
+  | Ok j ->
+      Alcotest.(check (option int)) "raw splice still parses" (Some 1)
+        (Option.bind (Option.bind (Json.member "payload" j) (Json.member "x")) Json.to_int)
+  | Error e -> Alcotest.fail e
+
+(* ---------------- Protocol ---------------- *)
+
+let test_protocol_roundtrip () =
+  let spec =
+    Engine.default_spec |> Engine.with_vectors 17 |> Engine.with_threshold 50.
+    |> Engine.with_selection Engine.Mcr
+  in
+  let env =
+    {
+      Protocol.id = Json.Int 9;
+      deadline_s = Some 2.5;
+      req = Protocol.Synth { source = `Bench "b04"; spec };
+    }
+  in
+  let line = Json.to_string (Protocol.envelope_to_json env) in
+  match Protocol.parse_line line with
+  | Error e -> Alcotest.fail e
+  | Ok env' ->
+      Alcotest.(check bool) "id survives" true (env'.Protocol.id = Json.Int 9);
+      Alcotest.(check (option (float 1e-9))) "deadline survives" (Some 2.5)
+        env'.Protocol.deadline_s;
+      (match env'.Protocol.req with
+      | Protocol.Synth { source = `Bench "b04"; spec = s } ->
+          Alcotest.(check string) "spec survives" (Engine.spec_fingerprint spec)
+            (Engine.spec_fingerprint s)
+      | _ -> Alcotest.fail "request shape changed")
+
+let test_protocol_rejects () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_line line with
+      | Ok _ -> Alcotest.failf "should reject %s" line
+      | Error _ -> ())
+    [
+      "not json";
+      "{}";
+      "{\"cmd\":\"frobnicate\"}";
+      "{\"cmd\":\"synth\"}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"blif\":\"x\"}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":0}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"deadline_s\":0}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"selection\":\"best\"}";
+      "{\"cmd\":\"perf\"}";
+    ]
+
+(* ---------------- End to end ---------------- *)
+
+let sock_counter = ref 0
+
+let with_server ?(domains = 1) ?(max_pending = 8) ?default_deadline_s f =
+  incr sock_counter;
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ee_serve_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let stop = Atomic.make false in
+  let cfg =
+    {
+      Server.default_config with
+      Server.address = `Unix sock;
+      domains;
+      max_pending;
+      default_deadline_s;
+      shutdown_grace_s = 1.;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Server.serve ~stop cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv)
+    (fun () -> f sock)
+
+let send sock line =
+  let c = Client.connect ~retries:100 (`Unix sock) in
+  let resp = Client.request_line c line in
+  Client.close c;
+  match Json.parse resp with Ok j -> j | Error e -> Alcotest.failf "bad response %S: %s" resp e
+
+let get j path =
+  List.fold_left (fun acc name -> Option.bind acc (Json.member name)) (Some j) path
+
+let check_status j expected =
+  Alcotest.(check (option string))
+    ("status " ^ expected)
+    (Some expected)
+    (Option.bind (Json.member "status" j) Json.to_string_opt)
+
+let check_error j code =
+  check_status j "error";
+  Alcotest.(check (option string)) ("error code " ^ code) (Some code)
+    (Option.bind (Json.member "error" j) Json.to_string_opt)
+
+let test_e2e_synth_and_cache () =
+  with_server (fun sock ->
+      let line = "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5,\"id\":\"req-1\"}" in
+      let r1 = send sock line in
+      check_status r1 "ok";
+      Alcotest.(check (option string)) "id echoed" (Some "req-1")
+        (Option.bind (Json.member "id" r1) Json.to_string_opt);
+      Alcotest.(check (option bool)) "first is cold" (Some false)
+        (Option.bind (Json.member "cached" r1) Json.to_bool);
+      Alcotest.(check (option string)) "row id" (Some "b01")
+        (Option.bind (get r1 [ "result"; "id" ]) Json.to_string_opt);
+      Alcotest.(check bool) "has ee gate count" true
+        (Option.bind (get r1 [ "result"; "ee_gates" ]) Json.to_int <> None);
+      (* Identical request on a fresh connection: served from the cache. *)
+      let r2 = send sock line in
+      check_status r2 "ok";
+      Alcotest.(check (option bool)) "second is cached" (Some true)
+        (Option.bind (Json.member "cached" r2) Json.to_bool);
+      Alcotest.(check bool) "identical payload" true
+        (Json.member "result" r1 = Json.member "result" r2);
+      (* A different spec is a different key. *)
+      let r3 = send sock "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":6}" in
+      Alcotest.(check (option bool)) "changed spec misses" (Some false)
+        (Option.bind (Json.member "cached" r3) Json.to_bool);
+      (* Stats reflect the traffic. *)
+      let s = send sock "{\"cmd\":\"stats\"}" in
+      check_status s "ok";
+      Alcotest.(check bool) "cache hits counted" true
+        (match Option.bind (get s [ "result"; "cache"; "hits" ]) Json.to_int with
+        | Some h -> h >= 1
+        | None -> false);
+      Alcotest.(check bool) "synth latencies recorded" true
+        (get s [ "result"; "commands"; "synth"; "latency_ms"; "p50" ] <> None))
+
+let test_e2e_inline_blif () =
+  with_server (fun sock ->
+      let blif =
+        ".model ha\\n.inputs a b\\n.outputs s c\\n.names a b s\\n10 1\\n01 1\\n.names a b c\\n11 1\\n.end\\n"
+      in
+      let r =
+        send sock (Printf.sprintf "{\"cmd\":\"synth\",\"blif\":\"%s\",\"vectors\":4}" blif)
+      in
+      check_status r "ok";
+      Alcotest.(check (option string)) "netlist row" (Some "netlist")
+        (Option.bind (get r [ "result"; "id" ]) Json.to_string_opt);
+      (* Same netlist again: content-addressed, so cached. *)
+      let r2 =
+        send sock (Printf.sprintf "{\"cmd\":\"synth\",\"blif\":\"%s\",\"vectors\":4}" blif)
+      in
+      Alcotest.(check (option bool)) "inline blif cached by content" (Some true)
+        (Option.bind (Json.member "cached" r2) Json.to_bool);
+      (* Malformed BLIF is the client's fault, not an internal error. *)
+      let bad = send sock "{\"cmd\":\"synth\",\"blif\":\"garbage\"}" in
+      check_error bad "bad_request")
+
+let test_e2e_not_found_and_bad_line () =
+  with_server (fun sock ->
+      check_error (send sock "{\"cmd\":\"synth\",\"bench\":\"b99\"}") "not_found";
+      check_error (send sock "this is not json") "bad_request";
+      (* The same connection stays usable after an error. *)
+      let c = Client.connect ~retries:100 (`Unix sock) in
+      let e = Client.request_line c "{\"cmd\":\"nope\"}" in
+      let ok = Client.request_line c "{\"cmd\":\"ping\"}" in
+      Client.close c;
+      Alcotest.(check bool) "error then ping" true
+        (match (Json.parse e, Json.parse ok) with
+        | Ok e, Ok ok ->
+            Json.member "status" e = Some (Json.String "error")
+            && Json.member "status" ok = Some (Json.String "ok")
+        | _ -> false))
+
+let test_e2e_overload () =
+  with_server ~domains:1 ~max_pending:1 (fun sock ->
+      (* Fill the single admission slot with a slow request on one
+         connection, then a second connection must be rejected, not
+         queued. *)
+      let slow = Client.connect ~retries:100 (`Unix sock) in
+      let t = Domain.spawn (fun () -> Client.request_line slow "{\"cmd\":\"sleep\",\"seconds\":1.5}") in
+      Unix.sleepf 0.4;
+      let r = send sock "{\"cmd\":\"sleep\",\"seconds\":0.1}" in
+      check_error r "overloaded";
+      (* ping is answered inline, never subject to admission control. *)
+      check_status (send sock "{\"cmd\":\"ping\"}") "ok";
+      let slow_resp = Domain.join t in
+      Client.close slow;
+      Alcotest.(check bool) "slow request still completed" true
+        (match Json.parse slow_resp with
+        | Ok j -> Json.member "status" j = Some (Json.String "ok")
+        | Error _ -> false);
+      (* Slot free again: the next request is admitted. *)
+      check_status (send sock "{\"cmd\":\"sleep\",\"seconds\":0.01}") "ok")
+
+let test_e2e_deadline () =
+  with_server ~domains:1 (fun sock ->
+      let t0 = Unix.gettimeofday () in
+      let r = send sock "{\"cmd\":\"sleep\",\"seconds\":10,\"deadline_s\":0.3}" in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_error r "deadline_exceeded";
+      Alcotest.(check bool) "answered at the deadline, not after the sleep" true
+        (elapsed < 5.);
+      (* The daemon survives: the worker is still busy but the loop and a
+         second worker slot (none here — same worker after it drains) keep
+         serving inline commands. *)
+      check_status (send sock "{\"cmd\":\"ping\"}") "ok";
+      check_status (send sock "{\"cmd\":\"stats\"}") "ok")
+
+let test_e2e_default_deadline () =
+  with_server ~domains:1 ~default_deadline_s:0.3 (fun sock ->
+      let r = send sock "{\"cmd\":\"sleep\",\"seconds\":10}" in
+      check_error r "deadline_exceeded")
+
+let test_e2e_shutdown () =
+  with_server (fun sock ->
+      check_status (send sock "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5}") "ok";
+      let r = send sock "{\"cmd\":\"shutdown\"}" in
+      check_status r "ok";
+      (* The listener closes promptly: connects start failing. *)
+      let gone =
+        let rec probe n =
+          if n = 0 then false
+          else
+            match Client.connect (`Unix sock) with
+            | exception Unix.Unix_error _ -> true
+            | c -> (
+                (* Accepted just before the close raced us — requests on it
+                   must be refused as shutting down or the socket dropped. *)
+                match Client.request_line c "{\"cmd\":\"ping\"}" with
+                | exception _ ->
+                    Client.close c;
+                    true
+                | resp ->
+                    Client.close c;
+                    (match Json.parse resp with
+                    | Ok j when Json.member "error" j = Some (Json.String "shutting_down") ->
+                        true
+                    | _ ->
+                        Unix.sleepf 0.05;
+                        probe (n - 1)))
+        in
+        probe 40
+      in
+      Alcotest.(check bool) "server stopped accepting" true gone)
+  (* with_server joins the server domain, proving the loop terminated. *)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json rejects malformed input" `Quick test_json_errors;
+      Alcotest.test_case "json raw splice" `Quick test_json_raw_compact;
+      Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+      Alcotest.test_case "protocol rejects bad requests" `Quick test_protocol_rejects;
+      Alcotest.test_case "e2e: synth + content-addressed cache" `Quick test_e2e_synth_and_cache;
+      Alcotest.test_case "e2e: inline BLIF source" `Quick test_e2e_inline_blif;
+      Alcotest.test_case "e2e: not_found / bad_request" `Quick test_e2e_not_found_and_bad_line;
+      Alcotest.test_case "e2e: overload rejects, never queues unboundedly" `Quick
+        test_e2e_overload;
+      Alcotest.test_case "e2e: per-request deadline" `Quick test_e2e_deadline;
+      Alcotest.test_case "e2e: server-default deadline" `Quick test_e2e_default_deadline;
+      Alcotest.test_case "e2e: clean shutdown" `Quick test_e2e_shutdown;
+    ] )
