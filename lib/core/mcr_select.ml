@@ -29,7 +29,7 @@ let request_of (c : Trigger.candidate) cost =
 
 (* Candidates that could help at all, with the Eq. 1 bookkeeping Synth
    records (arrival-weighted cost, Mmax/Tmax) for comparability. *)
-let viable_choices options pl master func fanin =
+let viable_choices options ?memo pl master func fanin =
   let arrivals = Array.map (fun f -> Pl.arrival pl f) fanin in
   let support = Lut4.support func in
   let m_max =
@@ -37,7 +37,7 @@ let viable_choices options pl master func fanin =
   in
   if m_max = 0 then []
   else
-    Trigger.candidates func
+    Trigger.candidates ?memo func
     |> List.filter_map (fun cand ->
            let t_max =
              Ee_util.Bits.fold_bits cand.Trigger.subset
@@ -59,7 +59,7 @@ let analyze options pl =
   Throughput.analyze ~gate_delay:options.gate_delay
     ~ee_overhead:options.ee_overhead pl
 
-let plan ?(options = default_options) pl =
+let plan ?(options = default_options) ?memo pl =
   let gates = Pl.gates pl in
   let budget_left inserted =
     match options.max_pairs with
@@ -103,7 +103,7 @@ let plan ?(options = default_options) pl =
                   | None -> lambda' <= target
                 in
                 if beats then best := Some (choice, lambda'))
-              (viable_choices options pl_cur master func fanin))
+              (viable_choices options ?memo pl_cur master func fanin))
           (List.rev !eligible)
         (* eligible was built backwards; restore ascending master order so
            ties resolve deterministically toward the lowest gate id. *);
@@ -120,14 +120,14 @@ let plan ?(options = default_options) pl =
   in
   round pl [] |> List.sort (fun a b -> compare a.Synth.master b.Synth.master)
 
-let run ?(options = default_options) pl =
+let run ?(options = default_options) ?memo pl =
   let gates = Pl.gates pl in
   let eligible =
     Array.fold_left
       (fun acc g -> match g.Pl.kind with Pl.Gate _ -> acc + 1 | _ -> acc)
       0 gates
   in
-  let choices = plan ~options pl in
+  let choices = plan ~options ?memo pl in
   let requests =
     List.map
       (fun c -> (c.Synth.master, request_of c.Synth.chosen c.Synth.cost))

@@ -27,13 +27,19 @@ type options = {
 
 val default_options : options
 
-val plan : ?options:options -> Ee_phased.Pl.t -> Synth.gate_choice list
+val plan :
+  ?options:options -> ?memo:Trigger.Memo.t -> Ee_phased.Pl.t -> Synth.gate_choice list
 (** Greedy selection as described above; master ids ascending.  The [cost]
     field records the Equation-1 (arrival-weighted) cost of the chosen
-    candidate for comparability, but plays no part in the selection. *)
+    candidate for comparability, but plays no part in the selection.
+    [memo] is the trigger-candidate cache to consult and fill (default:
+    the calling domain's {!Trigger.Memo.domain_default}). *)
 
 val run :
-  ?options:options -> Ee_phased.Pl.t -> Ee_phased.Pl.t * Synth.report
+  ?options:options ->
+  ?memo:Trigger.Memo.t ->
+  Ee_phased.Pl.t ->
+  Ee_phased.Pl.t * Synth.report
 (** [plan], then attach the pairs with [Pl.with_ee]; the report counts
     eligible gates and area exactly like {!Synth.run} so rows from either
     policy are directly comparable. *)

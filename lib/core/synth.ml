@@ -36,7 +36,7 @@ type report = {
    (see [Pl.arrival]). *)
 let fanin_arrivals pl fanin = Array.map (fun f -> Pl.arrival pl f) fanin
 
-let best_choice options pl master func fanin =
+let best_choice options ?memo pl master func fanin =
   let arrivals = fanin_arrivals pl fanin in
   let support = Lut4.support func in
   (* Only positions that are actually connected and in the support matter;
@@ -60,30 +60,30 @@ let best_choice options pl master func fanin =
           | Some b when b.cost >= cost -> best
           | _ -> Some { master; chosen = cand; m_max; t_max; cost }
     in
-    List.fold_left consider None (Trigger.candidates func)
+    List.fold_left consider None (Trigger.candidates ?memo func)
 
-let plan ?(options = default_options) pl =
+let plan ?(options = default_options) ?memo pl =
   let gates = Pl.gates pl in
   let out = ref [] in
   Array.iteri
     (fun i g ->
       match g.Pl.kind with
       | Pl.Gate func when Pl.ee pl i = None -> (
-          match best_choice options pl i func g.Pl.fanin with
+          match best_choice options ?memo pl i func g.Pl.fanin with
           | Some choice -> out := choice :: !out
           | None -> ())
       | _ -> ())
     gates;
   List.rev !out
 
-let run ?(options = default_options) pl =
+let run ?(options = default_options) ?memo pl =
   let gates = Pl.gates pl in
   let eligible =
     Array.fold_left
       (fun acc g -> match g.Pl.kind with Pl.Gate _ -> acc + 1 | _ -> acc)
       0 gates
   in
-  let choices = plan ~options pl in
+  let choices = plan ~options ?memo pl in
   let requests =
     List.map
       (fun c ->

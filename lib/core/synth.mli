@@ -39,8 +39,16 @@ type report = {
   area_increase_percent : float;  (** [ee_gates / pl_gates * 100]. *)
 }
 
-val plan : ?options:options -> Ee_phased.Pl.t -> gate_choice list
-(** Choose EE pairs without modifying the netlist. *)
+val plan :
+  ?options:options -> ?memo:Trigger.Memo.t -> Ee_phased.Pl.t -> gate_choice list
+(** Choose EE pairs without modifying the netlist.  [memo] is the trigger
+    candidate cache to consult and fill (default: the calling domain's
+    {!Trigger.Memo.domain_default}); it affects time only, never the
+    plan. *)
 
-val run : ?options:options -> Ee_phased.Pl.t -> Ee_phased.Pl.t * report
+val run :
+  ?options:options ->
+  ?memo:Trigger.Memo.t ->
+  Ee_phased.Pl.t ->
+  Ee_phased.Pl.t * report
 (** [plan] then attach the pairs with {!Ee_phased.Pl.with_ee}. *)

@@ -19,33 +19,47 @@ let candidate f ~subset =
   let coverage_count = Lut4.count_ones func in
   { subset; func; coverage_count; coverage = 100. *. float_of_int coverage_count /. 16. }
 
-(* The candidate list depends only on the 16-bit function, so a global memo
-   table (at most 2^16 entries) makes whole-netlist synthesis cheap: large
-   circuits reuse a few hundred distinct LUT functions.  Synthesis now also
-   runs on pool worker domains (Ee_util.Pool), so every table access is
-   under [memo_mutex]; the candidate list itself is computed outside the
-   lock — a race merely recomputes the same pure value. *)
-let memo : (int, candidate list) Hashtbl.t = Hashtbl.create 1024
+(* The candidate list depends only on the 16-bit function (at most 2^16
+   distinct keys), so whole-netlist synthesis memoizes it: large circuits
+   reuse a few hundred distinct LUT functions.  The memo is an explicit
+   context, not a process global — each batch (or each pool worker domain)
+   owns its own table, so the per-candidate hot path never touches a lock.
+   Callers that don't thread a context get their domain's default one. *)
+module Memo = struct
+  type t = (int, candidate list) Ee_util.Memo.t
 
-let memo_mutex = Mutex.create ()
+  let create ?size () : t = Ee_util.Memo.create ?size ()
 
-let candidates f =
-  let key = Lut4.to_int f in
-  let cached = Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key) in
-  match cached with
-  | Some cs -> cs
-  | None ->
-      let support = Lut4.support f in
-      let subsets = Ee_util.Bits.all_nonempty_proper_subsets support in
-      let cs =
-        List.filter_map
-          (fun subset ->
-            let c = candidate f ~subset in
-            if c.coverage_count > 0 then Some c else None)
-          subsets
-      in
-      Mutex.protect memo_mutex (fun () -> Hashtbl.replace memo key cs);
-      cs
+  let entries = Ee_util.Memo.entries
+
+  let hits = Ee_util.Memo.hits
+
+  let misses = Ee_util.Memo.misses
+
+  let merge = Ee_util.Memo.merge
+
+  let clear = Ee_util.Memo.clear
+
+  let dls_key : (int, candidate list) Ee_util.Memo.Dls.key =
+    Ee_util.Memo.Dls.key ~size:1024 ()
+
+  let domain_default () = Ee_util.Memo.Dls.get dls_key
+
+  let install_domain_default t = Ee_util.Memo.Dls.set dls_key t
+end
+
+let compute_candidates f =
+  let support = Lut4.support f in
+  let subsets = Ee_util.Bits.all_nonempty_proper_subsets support in
+  List.filter_map
+    (fun subset ->
+      let c = candidate f ~subset in
+      if c.coverage_count > 0 then Some c else None)
+    subsets
+
+let candidates ?memo f =
+  let memo = match memo with Some m -> m | None -> Memo.domain_default () in
+  Ee_util.Memo.find_or_add memo (Lut4.to_int f) (fun () -> compute_candidates f)
 
 (* Variables: a = position 2, b = position 1, c = position 0; only the low
    three LUT inputs are used. *)

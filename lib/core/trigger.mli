@@ -25,13 +25,55 @@ val trigger_function : Ee_logic.Lut4.t -> subset:int -> Ee_logic.Lut4.t
 
 val candidate : Ee_logic.Lut4.t -> subset:int -> candidate
 
-val candidates : Ee_logic.Lut4.t -> candidate list
+(** Memoization contexts for {!candidates}.  The candidate list depends
+    only on the 16-bit master function, so synthesis over a whole netlist
+    (or a whole benchmark suite) reuses a few hundred distinct entries.
+
+    A context is owned by one domain at a time and is completely
+    lock-free; parallel batches give each worker domain its own context
+    and either {!Memo.merge} the tables into a longer-lived one at batch
+    end or simply drop them ({!Ee_engine.Engine.run_suite} does exactly
+    this through its pool's worker hooks).  There is no process-global
+    table and no mutex on the candidate hot path. *)
+module Memo : sig
+  type t = (int, candidate list) Ee_util.Memo.t
+
+  val create : ?size:int -> unit -> t
+
+  val entries : t -> int
+
+  val hits : t -> int
+
+  val misses : t -> int
+
+  val merge : into:t -> t -> unit
+  (** Copy entries absent from [into] (per-key values are identical by
+      purity, so first-wins is exact). *)
+
+  val clear : t -> unit
+
+  val domain_default : unit -> t
+  (** The calling domain's default context — what {!candidates} uses when
+      no [?memo] is passed.  One per domain, so concurrent default-context
+      callers never contend or share entries. *)
+
+  val install_domain_default : t -> unit
+  (** Replace the calling domain's default context (pool worker-init hooks
+      use this to give each batch a fresh table). *)
+end
+
+val candidates : ?memo:Memo.t -> Ee_logic.Lut4.t -> candidate list
 (** All candidates over non-empty strict subsets of the master's true
     support with positive coverage, in increasing subset order.  (The paper
     enumerates all 14 subsets of the four LUT inputs; subsets touching
     variables outside the support yield the same trigger as their
     restriction to the support, so enumerating support subsets is
-    equivalent and never misses a candidate.) *)
+    equivalent and never misses a candidate.)
+
+    Results are cached in [memo] (default: the calling domain's
+    {!Memo.domain_default}, so bare [candidates f] one-offs stay terse and
+    safe).  The same function always yields the same list whatever context
+    is used — memo state affects time, never results. *)
 
 val full_adder_carry : Ee_logic.Lut4.t
 (** The paper's running example: carry-out [c(a+b) + ab] with a = input 2,

@@ -88,9 +88,18 @@ type result = {
   row : Ee_report.Tables.row;  (** The benchmark's Table 3 row. *)
 }
 
-val run : ?spec:spec -> ?trace:Trace.t -> Ee_bench_circuits.Itc99.benchmark -> result
+val run :
+  ?spec:spec ->
+  ?trace:Trace.t ->
+  ?memo:Ee_core.Trigger.Memo.t ->
+  Ee_bench_circuits.Itc99.benchmark ->
+  result
 (** Synthesize and simulate one benchmark.  With [?trace], records one
-    span per stage ([rtl], [bit-blast], [pl-map], [ee-plan], [sim]). *)
+    span per stage ([rtl], [bit-blast], [pl-map], [ee-plan], [sim]).
+    [?memo] is the trigger-candidate context threaded into the selection
+    policy (default: the calling domain's
+    {!Ee_core.Trigger.Memo.domain_default}); it only affects wall-clock,
+    never results. *)
 
 type failure = {
   failed_bench : string;  (** Benchmark id that failed. *)
@@ -118,7 +127,9 @@ val run_suite :
   ?spec:spec ->
   ?trace:Trace.t ->
   ?domains:int ->
+  ?chunk:int ->
   ?deadline_s:float ->
+  ?memo:Ee_core.Trigger.Memo.t ->
   ?benchmarks:Ee_bench_circuits.Itc99.benchmark list ->
   unit ->
   suite
@@ -127,14 +138,31 @@ val run_suite :
     either way).  A benchmark that raises becomes an [Error] row carrying
     the exception text — it never unwinds the suite.
 
+    Scheduling is coarse-grained: benchmarks are sliced into
+    O([domains]) consecutive chunks ({!Ee_util.Pool.map_chunked}), so the
+    pool queue is touched a handful of times per suite instead of once
+    per row.  [?chunk] overrides the slice size (default: two slices per
+    worker).
+
+    Memoization is sharded: each worker domain starts with a fresh
+    {!Ee_core.Trigger.Memo} context (warm-started from [?memo] when
+    given) installed as its domain default, so the candidate hot path
+    takes no lock.  At suite end each worker merges what it learned back
+    into [?memo] (first write wins — all entries are equal by purity), so
+    a caller-held context accumulates across suites.  Without [?memo],
+    per-worker tables are simply discarded.
+
     [?deadline_s] additionally bounds how long each benchmark may keep the
     suite waiting: a benchmark with no result [deadline_s] seconds after
     its await turn is reported as a [timed_out] error row and its worker
     domain is abandoned rather than joined (OCaml domains cannot be
     killed, so the hung computation leaks until process exit).  With a
-    deadline, workers are spawned even for [domains = 1]; prefer
-    [domains >= 2] so one hung benchmark does not stall the others'
-    queue.  Raises [Invalid_argument] on a non-positive deadline. *)
+    deadline, scheduling reverts to one task per benchmark (a slice
+    cannot be abandoned row-by-row) and workers are spawned even for
+    [domains = 1]; prefer [domains >= 2] so one hung benchmark does not
+    stall the others' queue.  Raises [Invalid_argument] on a non-positive
+    deadline.  Note: an abandoned pool skips [worker_teardown], so
+    timed-out suites do not merge back into [?memo]. *)
 
 val stage_names : string list
 (** All stages a traced run records, in order:

@@ -14,7 +14,7 @@ let no_instrument = { wrap = (fun _ f -> f ()) }
 
 let stage_names = [ "rtl"; "bit-blast"; "pl-map"; "ee-plan" ]
 
-let build_staged ?(options = Ee_core.Synth.default_options) ?plan
+let build_staged ?(options = Ee_core.Synth.default_options) ?memo ?plan
     ?(instrument = no_instrument) (b : Ee_bench_circuits.Itc99.benchmark) =
   let design = instrument.wrap "rtl" (fun () -> b.build ()) in
   let netlist = instrument.wrap "bit-blast" (fun () -> Ee_rtl.Techmap.run_rtl design) in
@@ -22,7 +22,7 @@ let build_staged ?(options = Ee_core.Synth.default_options) ?plan
   let select =
     match plan with
     | Some f -> f
-    | None -> fun pl -> Ee_core.Synth.run ~options pl
+    | None -> fun pl -> Ee_core.Synth.run ~options ?memo pl
   in
   let pl_ee, synth_report = instrument.wrap "ee-plan" (fun () -> select pl) in
   { id = b.id; description = b.description; design; netlist; pl; pl_ee; synth_report }

@@ -30,6 +30,7 @@ val stage_names : string list
 
 val build_staged :
   ?options:Ee_core.Synth.options ->
+  ?memo:Ee_core.Trigger.Memo.t ->
   ?plan:(Ee_phased.Pl.t -> Ee_phased.Pl.t * Ee_core.Synth.report) ->
   ?instrument:instrument ->
   Ee_bench_circuits.Itc99.benchmark ->
@@ -37,7 +38,9 @@ val build_staged :
 (** Run the pipeline with each stage passed through [instrument].  [plan]
     replaces the default "ee-plan" stage ([Synth.run ~options]) with an
     alternative selection policy — e.g. [Ee_core.Mcr_select.run]; when
-    given, [options] is ignored. *)
+    given, [options] {e and} [memo] are ignored (bake the context into the
+    closure).  [memo] is the trigger-candidate context the default plan
+    threads into [Synth.run]. *)
 
 val build : ?options:Ee_core.Synth.options -> Ee_bench_circuits.Itc99.benchmark -> artifact
 (** @deprecated New code should go through [Ee_engine.Engine.run], which

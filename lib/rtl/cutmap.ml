@@ -50,7 +50,7 @@ let cut_function gates root cut =
 
 (* Expected arrival of a cut under early evaluation, in level units with a
    uniform-input trigger-rate model (see Ee_core.Analysis). *)
-let ee_expected_arrival gates root cut leaf_arrival =
+let ee_expected_arrival ?memo gates root cut leaf_arrival =
   let f = cut_function gates root cut in
   let arrivals = Array.of_list (List.map leaf_arrival cut) in
   let support = Lut4.support f in
@@ -71,11 +71,11 @@ let ee_expected_arrival gates root cut leaf_arrival =
           let p = float_of_int c.Ee_core.Trigger.coverage_count /. 16. in
           min acc ((p *. (t_max +. 1.)) +. ((1. -. p) *. base)))
       base
-      (Ee_core.Trigger.candidates f)
+      (Ee_core.Trigger.candidates ?memo f)
   in
   best
 
-let run ?(mode = Depth) ?(cuts_per_node = 8) (c : Gates.circuit) =
+let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo (c : Gates.circuit) =
   let gates = c.Gates.gates in
   let n = Array.length gates in
   (* Per node: priority cut list (each cut sorted, without the trivial cut)
@@ -127,7 +127,7 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) (c : Gates.circuit) =
       let score cut =
         match mode with
         | Depth -> depth_score cut
-        | Ee_aware -> ee_expected_arrival gates i cut (fun l -> labels.(l))
+        | Ee_aware -> ee_expected_arrival ?memo gates i cut (fun l -> labels.(l))
       in
       let scored =
         List.stable_sort
@@ -203,4 +203,4 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) (c : Gates.circuit) =
     c.Gates.out_bits;
   Netlist.finalize b
 
-let run_rtl ?mode ?cuts_per_node d = run ?mode ?cuts_per_node (Elaborate.run d)
+let run_rtl ?mode ?cuts_per_node ?memo d = run ?mode ?cuts_per_node ?memo (Elaborate.run d)

@@ -20,7 +20,20 @@
 
 type mode = Depth | Ee_aware
 
-val run : ?mode:mode -> ?cuts_per_node:int -> Gates.circuit -> Ee_netlist.Netlist.t
-(** [cuts_per_node] bounds the priority list (default 8). *)
+val run :
+  ?mode:mode ->
+  ?cuts_per_node:int ->
+  ?memo:Ee_core.Trigger.Memo.t ->
+  Gates.circuit ->
+  Ee_netlist.Netlist.t
+(** [cuts_per_node] bounds the priority list (default 8).  [memo] is the
+    trigger-candidate cache [`Ee_aware] scoring consults (default: the
+    calling domain's {!Ee_core.Trigger.Memo.domain_default}); [`Depth]
+    mode never touches it. *)
 
-val run_rtl : ?mode:mode -> ?cuts_per_node:int -> Rtl.design -> Ee_netlist.Netlist.t
+val run_rtl :
+  ?mode:mode ->
+  ?cuts_per_node:int ->
+  ?memo:Ee_core.Trigger.Memo.t ->
+  Rtl.design ->
+  Ee_netlist.Netlist.t

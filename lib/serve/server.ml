@@ -51,25 +51,15 @@ exception Reject of string * string
 
 (* Canonical BLIF text per benchmark id, so repeated requests skip the
    RTL-elaboration + export needed to form the content-addressed key.
-   Worker domains may race on the same id; both compute the identical
-   string and the second store is a no-op. *)
-let bench_blif_memo : (string, string) Hashtbl.t = Hashtbl.create 16
-
-let memo_lock = Mutex.create ()
+   [Memo.Shared] computes outside its lock: worker domains may race on
+   the same id, both compute the identical string, first store wins. *)
+let bench_blif_memo : (string, string) Ee_util.Memo.Shared.t =
+  Ee_util.Memo.Shared.create ~size:16 ()
 
 let canonical_bench_blif (b : Itc99.benchmark) =
-  Mutex.lock memo_lock;
-  let cached = Hashtbl.find_opt bench_blif_memo b.Itc99.id in
-  Mutex.unlock memo_lock;
-  match cached with
-  | Some s -> s
-  | None ->
+  Ee_util.Memo.Shared.find_or_add bench_blif_memo b.Itc99.id (fun () ->
       let nl = Ee_rtl.Techmap.run_rtl (b.Itc99.build ()) in
-      let s = Blif.to_blif ~model:b.Itc99.id nl in
-      Mutex.lock memo_lock;
-      Hashtbl.replace bench_blif_memo b.Itc99.id s;
-      Mutex.unlock memo_lock;
-      s
+      Blif.to_blif ~model:b.Itc99.id nl)
 
 let find_bench id =
   match Engine.find_benchmark id with
@@ -175,12 +165,7 @@ let bench_key ~cmd ~blif ~spec extras =
    repeat requests inline without occupying a worker.  Never elaborates
    RTL (that would block the loop), so a cold benchmark returns [None]. *)
 let probe_key (req : Protocol.request) =
-  let memoized bid =
-    Mutex.lock memo_lock;
-    let c = Hashtbl.find_opt bench_blif_memo bid in
-    Mutex.unlock memo_lock;
-    c
-  in
+  let memoized bid = Ee_util.Memo.Shared.find_opt bench_blif_memo bid in
   match req with
   | Protocol.Synth { source = `Bench bid; spec } ->
       Option.map (fun blif -> bench_key ~cmd:"synth" ~blif ~spec []) (memoized bid)

@@ -10,9 +10,17 @@
     the deterministic fallback used by the test-suite and by callers that
     must not perturb global state concurrently.
 
-    {!map} preserves input ordering regardless of the completion order of
-    the workers, so parallel runs are result-identical to sequential
-    ones whenever the tasks themselves are pure. *)
+    {!map} and {!map_chunked} preserve input ordering regardless of the
+    completion order of the workers, so parallel runs are result-identical
+    to sequential ones whenever the tasks themselves are pure.
+
+    Scheduling granularity matters: {!map} pays one queue round-trip (and
+    one task cell) per element, which swamps the workers when elements are
+    cheap.  {!map_chunked} submits O(domains) slice tasks instead — the
+    coarse-grained default for batch work.  Per-worker {!create} hooks
+    ([~worker_init]/[~worker_teardown]) let a batch set up domain-local
+    state (e.g. an {!Ee_util.Memo} context) once per worker rather than
+    once per element, and fold it back at batch end. *)
 
 type t
 (** A pool handle.  Use one pool per batch of related work and
@@ -21,7 +29,13 @@ type t
 type 'a task
 (** An in-flight (or inline-completed) task. *)
 
-val create : ?force_spawn:bool -> ?domains:int -> unit -> t
+val create :
+  ?force_spawn:bool ->
+  ?domains:int ->
+  ?worker_init:(int -> unit) ->
+  ?worker_teardown:(int -> unit) ->
+  unit ->
+  t
 (** [create ~domains ()] spawns [domains] worker domains, or none at all
     when [domains = 1] (inline mode).  [domains] defaults to
     {!Domain.recommended_domain_count}[ ()] and is clamped to [1 .. 64].
@@ -29,7 +43,17 @@ val create : ?force_spawn:bool -> ?domains:int -> unit -> t
     [~force_spawn:true] spawns a worker even for [domains = 1], so tasks
     never run on the calling domain.  Required when the caller wants
     {!await_timeout} to be able to give up on a hung task: in inline mode
-    the task runs (and hangs) inside {!submit} itself. *)
+    the task runs (and hangs) inside {!submit} itself.
+
+    [~worker_init] runs on each worker domain before it takes its first
+    task, [~worker_teardown] after its last (at {!shutdown}/{!abandon}),
+    each applied to the worker's index in [0 .. domains-1].  In inline
+    mode both run on the calling domain ([init] inside [create], [teardown]
+    inside {!shutdown} or {!abandon}), so domain-local state installed by
+    [init] is visible to inline tasks too.  The hooks must not raise: an
+    [init]/[teardown] exception kills that worker domain and resurfaces at
+    {!shutdown}'s join (or at [create] in inline mode).  A hook must not
+    submit to or shut down its own pool. *)
 
 val size : t -> int
 (** The [domains] value the pool was created with (after clamping). *)
@@ -71,12 +95,39 @@ val abandon : t -> unit
     would hang — use {!await_timeout}).  Use {!shutdown} whenever every
     task is known to terminate. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?domains:int ->
+  ?worker_init:(int -> unit) ->
+  ?worker_teardown:(int -> unit) ->
+  (t -> 'a) ->
+  'a
 (** [with_pool f] creates a pool, applies [f], and shuts the pool down
     even if [f] raises. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel [List.map] with deterministic (input-order) results. *)
+(** Parallel [List.map] with deterministic (input-order) results.  One
+    task per element: use {!map_chunked} unless each element is expensive
+    enough to amortize a queue round-trip, or per-element
+    {!await_timeout}/{!try_await} isolation is needed (in which case
+    submit the elements yourself). *)
+
+val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked ~chunk pool f xs] behaves as [List.map f xs] with
+    deterministic (input-order) results, but submits one task per
+    consecutive slice of [chunk] elements instead of one per element —
+    O(domains) queue round-trips for the default [chunk] of
+    [ceil (length xs / (2 * domains))] (two slices per worker, so one
+    slow slice can overlap the others' second round).
+
+    Exception semantics: if [f] raises on some element, that element's
+    slice task fails and the await re-raises the exception of the {e
+    earliest} failing slice (with its original backtrace), like {!map}
+    re-raises the earliest failing element.  Unlike {!map}, the elements
+    {e after} the raising one in the same slice are never evaluated
+    (later slices may still run to completion on other workers).  Wrap
+    [f]'s body in [Result] if per-element isolation is needed.
+
+    Raises [Invalid_argument] if [chunk <= 0]. *)
 
 val run : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [with_pool (fun p -> map p f xs)]. *)

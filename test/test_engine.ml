@@ -44,6 +44,104 @@ let test_pool_exception () =
           | exception Boom 1 -> ()))
     [ 1; 4 ]
 
+let test_pool_map_chunked_order () =
+  let xs = List.init 53 Fun.id in
+  let expect = List.map (fun x -> x * 3) xs in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          (* Default chunk plus explicit sizes that do and don't divide the
+             length, including degenerate (1) and oversized (> length). *)
+          List.iter
+            (fun chunk ->
+              let got = Pool.map_chunked ?chunk p (fun x -> x * 3) xs in
+              Alcotest.(check (list int))
+                (Printf.sprintf "chunked map order, %d domains, chunk %s" domains
+                   (match chunk with None -> "default" | Some c -> string_of_int c))
+                expect got)
+            [ None; Some 1; Some 7; Some 53; Some 1000 ]))
+    [ 1; 4 ]
+
+let test_pool_map_chunked_empty_and_bad_chunk () =
+  Pool.with_pool ~domains:2 (fun p ->
+      Alcotest.(check (list int)) "empty input" [] (Pool.map_chunked p Fun.id []);
+      List.iter
+        (fun c ->
+          match Pool.map_chunked ~chunk:c p Fun.id [ 1 ] with
+          | _ -> Alcotest.failf "chunk = %d should raise" c
+          | exception Invalid_argument _ -> ())
+        [ 0; -1 ])
+
+let test_pool_map_chunked_exception () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          (* The earliest failing slice's exception surfaces; elements after
+             the raising one in the same slice are never evaluated. *)
+          let touched = Array.make 12 false in
+          let f x =
+            touched.(x) <- true;
+            if x = 4 then raise (Boom 4);
+            x
+          in
+          (match Pool.map_chunked ~chunk:6 p f (List.init 12 Fun.id) with
+          | _ -> Alcotest.fail "expected Boom 4"
+          | exception Boom 4 -> ());
+          Alcotest.(check bool) "element before the raise ran" true touched.(3);
+          Alcotest.(check bool) "element after the raise, same slice, skipped" false
+            touched.(5);
+          (* The pool survives: a later chunked map still works. *)
+          Alcotest.(check (list int)) "pool usable after a failing slice" [ 2; 4 ]
+            (Pool.map_chunked p (fun x -> 2 * x) [ 1; 2 ])))
+    [ 1; 4 ]
+
+let test_pool_worker_hooks () =
+  List.iter
+    (fun domains ->
+      let inits = Atomic.make 0 and teardowns = Atomic.make 0 in
+      let indices = Array.make 64 0 in
+      let p =
+        Pool.create ~domains
+          ~worker_init:(fun i ->
+            Atomic.incr inits;
+            indices.(i) <- indices.(i) + 1)
+          ~worker_teardown:(fun _ -> Atomic.incr teardowns)
+          ()
+      in
+      let n = Pool.size p in
+      ignore (Pool.map_chunked p (fun x -> x + 1) (List.init 20 Fun.id));
+      Pool.shutdown p;
+      Alcotest.(check int)
+        (Printf.sprintf "init once per worker (%d domains)" domains)
+        n (Atomic.get inits);
+      Alcotest.(check int)
+        (Printf.sprintf "teardown once per worker (%d domains)" domains)
+        n (Atomic.get teardowns);
+      for i = 0 to n - 1 do
+        Alcotest.(check int) "each worker index hooked exactly once" 1 indices.(i)
+      done;
+      Pool.shutdown p;
+      Alcotest.(check int) "idempotent shutdown does not re-run teardown" n
+        (Atomic.get teardowns))
+    [ 1; 3 ]
+
+(* Domain-local state installed by worker_init must be visible to the
+   tasks that worker runs — the contract Engine.run_suite's per-worker
+   memo contexts depend on. *)
+let test_pool_worker_init_domain_state () =
+  let key = Domain.DLS.new_key (fun () -> "unset") in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains
+        ~worker_init:(fun i -> Domain.DLS.set key (Printf.sprintf "worker-%d" i))
+        (fun p ->
+          let seen = Pool.map_chunked p (fun _ -> Domain.DLS.get key) (List.init 8 Fun.id) in
+          Alcotest.(check bool)
+            (Printf.sprintf "every task saw an installed context (%d domains)" domains)
+            true
+            (List.for_all (fun s -> s <> "unset") seen)))
+    [ 1; 4 ]
+
 let test_pool_submit_after_shutdown () =
   let p = Pool.create ~domains:2 () in
   Pool.shutdown p;
@@ -243,6 +341,43 @@ let test_suite_parallel_matches_sequential () =
   let render s = Ee_util.Table.to_csv (Ee_report.Tables.table3_to_table s.Engine.table3) in
   Alcotest.(check string) "rendered Table 3 identical" (render s1) (render s4)
 
+(* Same identity with per-worker memo contexts warm-started from, and
+   merged back into, a caller-held context — the sharded-memo path the
+   parallel engine takes.  Rows must not depend on memo state, and the
+   shared context must come back populated. *)
+let test_suite_parallel_shared_memo () =
+  let memo = Ee_core.Trigger.Memo.create () in
+  let s1 = Engine.run_suite ~spec:small_spec ~domains:1 () in
+  let s4 = Engine.run_suite ~spec:small_spec ~domains:4 ~memo () in
+  Alcotest.(check bool) "table3 identical with sharded memos" true
+    (s1.Engine.table3 = s4.Engine.table3);
+  let render s = Ee_util.Table.to_csv (Ee_report.Tables.table3_to_table s.Engine.table3) in
+  Alcotest.(check string) "rendered Table 3 identical" (render s1) (render s4);
+  let entries = Ee_core.Trigger.Memo.entries memo in
+  Alcotest.(check bool) "workers merged their tables back" true (entries > 0);
+  (* A second, warm-started suite must agree again and only grow the
+     context (same circuits — same LUT4 functions). *)
+  let s4' = Engine.run_suite ~spec:small_spec ~domains:4 ~memo () in
+  Alcotest.(check bool) "warm-started suite identical" true
+    (s1.Engine.table3 = s4'.Engine.table3);
+  Alcotest.(check int) "no new functions on the second pass" entries
+    (Ee_core.Trigger.Memo.entries memo)
+
+(* An explicitly chunked suite must also be row-identical. *)
+let test_suite_chunk_override () =
+  let benchmarks =
+    List.map Ee_bench_circuits.Itc99.find [ "b01"; "b02"; "b03"; "b06"; "b09" ]
+  in
+  let s1 = Engine.run_suite ~spec:small_spec ~domains:1 ~benchmarks () in
+  List.iter
+    (fun chunk ->
+      let s = Engine.run_suite ~spec:small_spec ~domains:3 ~chunk ~benchmarks () in
+      Alcotest.(check bool)
+        (Printf.sprintf "chunk %d identical to sequential" chunk)
+        true
+        (s1.Engine.table3 = s.Engine.table3))
+    [ 1; 2; 5 ]
+
 let test_run_matches_legacy_pipeline () =
   let b = Ee_bench_circuits.Itc99.find "b04" in
   let spec = small_spec |> Engine.with_threshold 50. in
@@ -369,6 +504,16 @@ let suite =
   ( "engine",
     [
       Alcotest.test_case "pool: map preserves order" `Quick test_pool_map_order;
+      Alcotest.test_case "pool: chunked map preserves order" `Quick
+        test_pool_map_chunked_order;
+      Alcotest.test_case "pool: chunked map edge cases" `Quick
+        test_pool_map_chunked_empty_and_bad_chunk;
+      Alcotest.test_case "pool: chunked map exception semantics" `Quick
+        test_pool_map_chunked_exception;
+      Alcotest.test_case "pool: worker hooks run once per worker" `Quick
+        test_pool_worker_hooks;
+      Alcotest.test_case "pool: worker_init state visible to tasks" `Quick
+        test_pool_worker_init_domain_state;
       Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exception;
       Alcotest.test_case "pool: submit after shutdown" `Quick test_pool_submit_after_shutdown;
       Alcotest.test_case "pool: try_await captures failures" `Quick test_pool_try_await;
@@ -384,6 +529,10 @@ let suite =
       Alcotest.test_case "suite: deadline bounds a hung benchmark" `Quick
         test_suite_deadline_on_hung_benchmark;
       Alcotest.test_case "suite: 4 domains == sequential" `Slow test_suite_parallel_matches_sequential;
+      Alcotest.test_case "suite: sharded memo == sequential" `Slow
+        test_suite_parallel_shared_memo;
+      Alcotest.test_case "suite: explicit chunk sizes == sequential" `Quick
+        test_suite_chunk_override;
       Alcotest.test_case "run == legacy Pipeline+Tables chain" `Quick test_run_matches_legacy_pipeline;
       Alcotest.test_case "trace: one span per stage" `Quick test_trace_spans;
       Alcotest.test_case "trace: Chrome JSON well-formed" `Quick test_trace_chrome_json;
