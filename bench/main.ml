@@ -588,19 +588,66 @@ let print_perf ?(selection_timeout = 120.) () =
   Printf.printf "wrote BENCH_perf.json\n"
 
 (* The synthesis service: cold vs warm (content-addressed cache hit)
-   latency, then sustained throughput with several concurrent client
-   connections.  Writes BENCH_serve.json and fails the run if the warm
-   path is less than 10x faster than the cold path. *)
+   latency, closed-loop pipelined warm throughput, then an open-loop load
+   test — many simulated clients multiplexed from a few driver domains,
+   mixed warm/cold/non-cacheable traffic at a fixed arrival rate —
+   recording cold/warm p50/p90/p99, per-tier rejection counts and shard
+   balance.  Writes BENCH_serve.json; fails the run if the warm path is
+   less than 10x faster than cold, and (on multi-core machines) if warm
+   p99 under load blows past the p50-relative gate or a shard starves. *)
 
-let print_serve () =
-  section "Serve: ee_synthd cold/warm latency and concurrent throughput";
+(* Per-driver outcome of the open-loop phase. *)
+type load_result = {
+  lr_sent : int;
+  lr_completed : int;
+  lr_dropped : int;  (* skipped sends: per-connection outstanding cap hit *)
+  lr_unanswered : int;  (* still pending when the drain window closed *)
+  lr_warm : float list;  (* latency ms per traffic class *)
+  lr_cold : float list;
+  lr_sleep : float list;
+  lr_errs : (string * int) list;  (* structured error code -> count *)
+}
+
+(* Pull the "error" code out of a response line without a full JSON parse:
+   the load loop handles thousands of lines per second. *)
+let extract_error line =
+  let marker = "\"error\":\"" in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else find (i + 1)
+  in
+  Option.bind (find 0) (fun s ->
+      Option.map
+        (fun e -> String.sub line s (e - s))
+        (String.index_from_opt line s '"'))
+
+let print_serve ~clients () =
+  section "Serve: sharded ee_synthd cold/warm latency and load test";
   let module Server = Ee_serve.Server in
   let module Client = Ee_serve.Client in
   let module Json = Ee_export.Json in
   let sock = Filename.concat (Filename.get_temp_dir_name ()) "ee_synthd_bench.sock" in
+  (* The server runs in this process, so every simulated client costs two
+     fds here; Unix.select caps fd values below 1024. *)
+  let clients =
+    if clients > 384 then begin
+      Printf.printf "(capping --clients %d to 384: select FD_SETSIZE)\n" clients;
+      384
+    end
+    else max 4 clients
+  in
   let stop = Atomic.make false in
+  let shards = 2 in
   let cfg =
-    { Server.default_config with Server.address = `Unix sock; domains = 2; max_pending = 64 }
+    {
+      Server.default_config with
+      Server.address = `Unix sock;
+      shards;
+      domains = 2;
+      max_pending = 64;
+    }
   in
   let server = Domain.spawn (fun () -> Server.serve ~stop cfg) in
   let c = Client.connect ~retries:100 (`Unix sock) in
@@ -623,9 +670,7 @@ let print_serve () =
     List.map
       (fun id ->
         let cold = time_request c (synth_line id) in
-        let warm =
-          Array.init 50 (fun _ -> time_request c (synth_line id))
-        in
+        let warm = Array.init 50 (fun _ -> time_request c (synth_line id)) in
         let warm_p50 = Ee_util.Stats.percentile warm 50. in
         let speedup = cold /. Float.max warm_p50 1e-6 in
         Ee_util.Table.add_row t
@@ -639,48 +684,268 @@ let print_serve () =
       benches
   in
   Ee_util.Table.print t;
-  (* Sustained warm throughput: concurrent connections, mixed benchmarks. *)
-  let clients = 4 and per_client = 200 in
+  (* Phase A — closed-loop warm throughput: a few drivers each keep a
+     pipeline of warm requests outstanding on one connection. *)
+  let drivers = 4 in
+  let depth = 8 in
+  let phase_a_s = if !vectors <= 25 then 1.0 else 2.0 in
   let t0 = Unix.gettimeofday () in
-  ignore
-    (Ee_util.Pool.run ~domains:clients
-       (fun k ->
-         let cc = Client.connect ~retries:10 (`Unix sock) in
-         for i = 1 to per_client do
-           ignore (Client.request_line cc (synth_line (List.nth benches ((k + i) mod 3))))
-         done;
-         Client.close cc)
-       (List.init clients Fun.id));
-  let wall = Unix.gettimeofday () -. t0 in
-  let rps = float_of_int (clients * per_client) /. Float.max wall 1e-9 in
-  Printf.printf "\n%d clients x %d warm requests: %.2f s (%.0f requests/s)\n" clients
-    per_client wall rps;
-  let stats_resp = Client.request_line c "{\"cmd\":\"stats\"}" in
-  let cache_stat name =
-    match Json.parse stats_resp with
-    | Ok j ->
-        Option.value ~default:0
-          (Option.bind
-             (Option.bind
-                (Option.bind (Json.member "result" j) (Json.member "cache"))
-                (Json.member name))
-             Json.to_int)
-    | Error _ -> 0
+  let counts =
+    Ee_util.Pool.run ~domains:drivers
+      (fun k ->
+        let cc = Client.connect ~retries:10 (`Unix sock) in
+        let line i = synth_line (List.nth benches ((k + i) mod 3)) in
+        for i = 1 to depth do
+          Client.send_line cc (line i)
+        done;
+        let completed = ref 0 in
+        let n = ref depth in
+        let t_end = t0 +. phase_a_s in
+        while Unix.gettimeofday () < t_end do
+          ignore (Client.recv_line cc);
+          incr completed;
+          incr n;
+          Client.send_line cc (line !n)
+        done;
+        for _ = 1 to depth do
+          ignore (Client.recv_line cc);
+          incr completed
+        done;
+        Client.close cc;
+        !completed)
+      (List.init drivers Fun.id)
   in
-  let hits = cache_stat "hits" and misses = cache_stat "misses" in
-  Printf.printf "cache: %d hits / %d misses\n" hits misses;
+  let wall = Unix.gettimeofday () -. t0 in
+  let total_a = List.fold_left ( + ) 0 counts in
+  let rps = float_of_int total_a /. Float.max wall 1e-9 in
+  Printf.printf
+    "\nclosed loop: %d drivers x depth-%d pipeline, %.1f s: %d warm requests (%.0f requests/s)\n"
+    drivers depth wall total_a rps;
+  (* Phase B — open loop: [clients] connections spread over the driver
+     domains, sends scheduled at a fixed arrival rate (0.7x the closed-loop
+     capacity), traffic mixed 2% sleep (non-cacheable), 5% cold synth
+     (unique seeds), the rest warm. *)
+  let offered = 0.7 *. rps in
+  let phase_b_s = if !vectors <= 25 then 1.5 else 3.0 in
+  let cold_seed = Atomic.make 100_000 in
+  let per_driver = max 1 (clients / drivers) in
+  let run_driver k =
+    let module Q = Queue in
+    let conns =
+      Array.init per_driver (fun _ ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          (fd, ref "", (Q.create () : (int * float) Q.t)))
+    in
+    let warm = ref [] and cold = ref [] and sleeps = ref [] in
+    let errs = Hashtbl.create 8 in
+    let sent = ref 0 and completed = ref 0 and dropped = ref 0 in
+    let interval = float_of_int drivers /. Float.max offered 1. in
+    let t_start = Unix.gettimeofday () in
+    let t_end = t_start +. phase_b_s in
+    let next_send = ref (t_start +. (interval *. float_of_int k /. float_of_int drivers)) in
+    let rr = ref 0 in
+    let mix = ref 0 in
+    let on_line line (kind, t_send) =
+      incr completed;
+      let lat = (Unix.gettimeofday () -. t_send) *. 1000. in
+      (match kind with
+      | 0 -> warm := lat :: !warm
+      | 1 -> cold := lat :: !cold
+      | _ -> sleeps := lat :: !sleeps);
+      match extract_error line with
+      | Some code ->
+          Hashtbl.replace errs code
+            (1 + Option.value ~default:0 (Hashtbl.find_opt errs code))
+      | None -> ()
+    in
+    let read_conn (fd, rbuf, pending) =
+      let buf = Bytes.create 65536 in
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+          rbuf := !rbuf ^ Bytes.sub_string buf 0 n;
+          let rec split () =
+            match String.index_opt !rbuf '\n' with
+            | None -> ()
+            | Some i ->
+                let line = String.sub !rbuf 0 i in
+                rbuf := String.sub !rbuf (i + 1) (String.length !rbuf - i - 1);
+                (match Q.take_opt pending with
+                | Some tag -> on_line line tag
+                | None -> ());
+                split ()
+          in
+          split ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    let send_one now =
+      let fd, _, pending = conns.(!rr mod per_driver) in
+      incr rr;
+      if Q.length pending >= 64 then incr dropped
+      else begin
+        incr mix;
+        let m = !mix in
+        let kind, line =
+          if m mod 50 = 11 then (2, "{\"cmd\":\"sleep\",\"seconds\":0.002}")
+          else if m mod 20 = 3 then
+            ( 1,
+              Printf.sprintf "{\"cmd\":\"synth\",\"bench\":\"b04\",\"vectors\":%d,\"seed\":%d}"
+                !vectors
+                (Atomic.fetch_and_add cold_seed 1) )
+          else (0, synth_line (List.nth benches (m mod 3)))
+        in
+        let data = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length data in
+        let off = ref 0 in
+        (try
+           while !off < len do
+             off := !off + Unix.write fd data !off (len - !off)
+           done
+         with Unix.Unix_error _ -> ());
+        Q.add (kind, now) pending;
+        incr sent
+      end
+    in
+    let fds = Array.to_list (Array.map (fun (fd, _, _) -> fd) conns) in
+    let rec loop () =
+      let now = Unix.gettimeofday () in
+      if now < t_end then begin
+        while !next_send <= Unix.gettimeofday () && Unix.gettimeofday () < t_end do
+          send_one (Unix.gettimeofday ());
+          next_send := !next_send +. interval
+        done;
+        let now = Unix.gettimeofday () in
+        let timeout = Float.max 0. (Float.min (!next_send -. now) 0.02) in
+        (match Unix.select fds [] [] timeout with
+        | readable, _, _ ->
+            Array.iter (fun ((fd, _, _) as c) -> if List.mem fd readable then read_conn c) conns
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+    in
+    loop ();
+    (* Drain what is still outstanding, bounded. *)
+    let drain_deadline = Unix.gettimeofday () +. 2.0 in
+    let outstanding () = Array.exists (fun (_, _, p) -> not (Q.is_empty p)) conns in
+    while outstanding () && Unix.gettimeofday () < drain_deadline do
+      match Unix.select fds [] [] 0.05 with
+      | readable, _, _ ->
+          Array.iter (fun ((fd, _, _) as c) -> if List.mem fd readable then read_conn c) conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    let unanswered = Array.fold_left (fun a (_, _, p) -> a + Q.length p) 0 conns in
+    Array.iter (fun (fd, _, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+    {
+      lr_sent = !sent;
+      lr_completed = !completed;
+      lr_dropped = !dropped;
+      lr_unanswered = unanswered;
+      lr_warm = !warm;
+      lr_cold = !cold;
+      lr_sleep = !sleeps;
+      lr_errs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) errs [];
+    }
+  in
+  let results = Ee_util.Pool.run ~domains:drivers run_driver (List.init drivers Fun.id) in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let gather f = List.concat_map f results in
+  let sent = sum (fun r -> r.lr_sent)
+  and completed = sum (fun r -> r.lr_completed)
+  and dropped = sum (fun r -> r.lr_dropped)
+  and unanswered = sum (fun r -> r.lr_unanswered) in
+  let warm_all = Array.of_list (gather (fun r -> r.lr_warm)) in
+  let cold_all = Array.of_list (gather (fun r -> r.lr_cold)) in
+  let sleep_all = Array.of_list (gather (fun r -> r.lr_sleep)) in
+  let err_totals =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (code, n) ->
+            Hashtbl.replace tbl code (n + Option.value ~default:0 (Hashtbl.find_opt tbl code)))
+          r.lr_errs)
+      results;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let pct a q = if Array.length a = 0 then 0. else Ee_util.Stats.percentile a q in
+  let pct_obj a =
+    if Array.length a = 0 then Json.Null
+    else
+      Json.Obj
+        [
+          ("n", Json.Int (Array.length a));
+          ("p50", Json.Float (pct a 50.));
+          ("p90", Json.Float (pct a 90.));
+          ("p99", Json.Float (pct a 99.));
+        ]
+  in
+  Printf.printf
+    "open loop: %d clients, %.0f requests/s offered for %.1f s: %d sent, %d completed, %d capped, %d unanswered\n"
+    clients offered phase_b_s sent completed dropped unanswered;
+  Printf.printf "  warm  p50/p90/p99: %.3f / %.3f / %.3f ms (%d)\n" (pct warm_all 50.)
+    (pct warm_all 90.) (pct warm_all 99.) (Array.length warm_all);
+  if Array.length cold_all > 0 then
+    Printf.printf "  cold  p50/p90/p99: %.2f / %.2f / %.2f ms (%d)\n" (pct cold_all 50.)
+      (pct cold_all 90.) (pct cold_all 99.) (Array.length cold_all);
+  List.iter (fun (code, n) -> Printf.printf "  %-18s %d\n" code n) err_totals;
+  (* Scrape server-side tier/shard/cache accounting. *)
+  let stats_resp = Client.request_line c "{\"cmd\":\"stats\"}" in
+  let stats_json = match Json.parse stats_resp with Ok j -> j | Error _ -> Json.Null in
+  let member path =
+    List.fold_left (fun acc name -> Option.bind acc (Json.member name)) (Some stats_json) path
+  in
+  let stat_int path = Option.value ~default:0 (Option.bind (member path) Json.to_int) in
+  let shard_requests =
+    match member [ "result"; "shards"; "requests" ] with
+    | Some (Json.List l) -> List.filter_map Json.to_int l
+    | _ -> []
+  in
+  let tier_counts =
+    List.map
+      (fun t -> (t, stat_int [ "result"; "tiers"; t ]))
+      [ "ok"; "throttled"; "shed"; "overloaded" ]
+  in
+  let hits = stat_int [ "result"; "cache"; "hits" ]
+  and misses = stat_int [ "result"; "cache"; "misses" ] in
+  Printf.printf "cache: %d hits / %d misses; tiers:%s; shard requests:%s\n" hits misses
+    (String.concat "" (List.map (fun (t, n) -> Printf.sprintf " %s=%d" t n) tier_counts))
+    (String.concat "" (List.map (Printf.sprintf " %d") shard_requests));
   ignore (Client.request_line c "{\"cmd\":\"shutdown\"}");
   Client.close c;
   Domain.join server;
+  (* Gates. *)
+  let cores = Domain.recommended_domain_count () in
+  let gate_enforced = cores >= 2 in
   let min_speedup =
     List.fold_left (fun acc (_, _, _, s) -> Float.min acc s) infinity latency_rows
   in
+  let p99_factor = 100. and p99_floor_ms = 25. in
+  let warm_p50 = pct warm_all 50. and warm_p99 = pct warm_all 99. in
+  let p99_ok =
+    Array.length warm_all = 0
+    || not (warm_p99 > p99_factor *. warm_p50 && warm_p99 > p99_floor_ms)
+  in
+  let shard_balance =
+    let total = List.fold_left ( + ) 0 shard_requests in
+    if total = 0 || shard_requests = [] then None
+    else
+      let mean = float_of_int total /. float_of_int (List.length shard_requests) in
+      Some (float_of_int (List.fold_left min max_int shard_requests) /. mean)
+  in
+  let starved = match shard_balance with Some b -> b < 0.1 | None -> false in
   let json =
     Json.Obj
       [
         ("vectors", Json.Int !vectors);
         ("seed", Json.Int seed);
         ("domains", Json.Int cfg.Server.domains);
+        ("shards", Json.Int shards);
+        ("cores", Json.Int cores);
+        ("gate_enforced", Json.Bool gate_enforced);
         ( "latency",
           Json.List
             (List.map
@@ -694,9 +959,47 @@ let print_serve () =
                    ])
                latency_rows) );
         ("min_warm_speedup", Json.Float min_speedup);
-        ("concurrent_clients", Json.Int clients);
-        ("requests_per_client", Json.Int per_client);
+        ("concurrent_clients", Json.Int drivers);
         ("warm_requests_per_s", Json.Float rps);
+        ( "closed_loop",
+          Json.Obj
+            [
+              ("connections", Json.Int drivers);
+              ("pipeline_depth", Json.Int depth);
+              ("duration_s", Json.Float wall);
+              ("completed", Json.Int total_a);
+              ("warm_requests_per_s", Json.Float rps);
+            ] );
+        ( "load",
+          Json.Obj
+            [
+              ("clients", Json.Int clients);
+              ("drivers", Json.Int drivers);
+              ("offered_rps", Json.Float offered);
+              ("duration_s", Json.Float phase_b_s);
+              ("sent", Json.Int sent);
+              ("completed", Json.Int completed);
+              ("capped", Json.Int dropped);
+              ("unanswered", Json.Int unanswered);
+              ("errors", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) err_totals));
+              ("warm_ms", pct_obj warm_all);
+              ("cold_ms", pct_obj cold_all);
+              ("sleep_ms", pct_obj sleep_all);
+            ] );
+        ("tiers", Json.Obj (List.map (fun (t, n) -> (t, Json.Int n)) tier_counts));
+        ("shard_requests", Json.List (List.map (fun n -> Json.Int n) shard_requests));
+        ( "shard_balance",
+          match shard_balance with Some b -> Json.Float b | None -> Json.Null );
+        ( "p99_gate",
+          Json.Obj
+            [
+              ("enforced", Json.Bool gate_enforced);
+              ("factor", Json.Float p99_factor);
+              ("floor_ms", Json.Float p99_floor_ms);
+              ("warm_p50_ms", Json.Float warm_p50);
+              ("warm_p99_ms", Json.Float warm_p99);
+              ("passed", Json.Bool p99_ok);
+            ] );
         ("cache_hits", Json.Int hits);
         ("cache_misses", Json.Int misses);
       ]
@@ -705,11 +1008,24 @@ let print_serve () =
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote BENCH_serve.json (min warm speedup %.0fx)\n" min_speedup;
+  Printf.printf "wrote BENCH_serve.json (min warm speedup %.0fx, warm p99 %.3f ms)\n"
+    min_speedup warm_p99;
   if min_speedup < 10. then begin
     Printf.printf "FAIL: warm path less than 10x faster than cold\n";
     exit 1
-  end
+  end;
+  if gate_enforced && not p99_ok then begin
+    Printf.printf "FAIL: warm p99 %.3f ms exceeds %.0fx warm p50 %.3f ms (floor %.0f ms)\n"
+      warm_p99 p99_factor warm_p50 p99_floor_ms;
+    exit 1
+  end;
+  if gate_enforced && starved then begin
+    Printf.printf "FAIL: shard starvation (balance %.3f < 0.1)\n"
+      (Option.value ~default:0. shard_balance);
+    exit 1
+  end;
+  if not gate_enforced then
+    Printf.printf "(single-core machine: p99/starvation gates recorded but not enforced)\n"
 
 (* Fault-injection campaigns: sweep the standard fault list over a few
    benchmarks and check that nothing silently mis-computes under the
@@ -842,13 +1158,23 @@ let () =
             Printf.eprintf "--selection-timeout needs a positive number of seconds, got %S\n" s;
             exit 2)
   in
+  let serve_clients =
+    match find_value "--clients" with
+    | None -> if has "--fast" then 128 else 256
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | _ ->
+            Printf.eprintf "--clients needs a positive integer, got %S\n" s;
+            exit 2)
+  in
   if not specific then begin
     print_table1 ();
     print_table2 ();
     print_table3 ~csv:(has "--csv") ();
     print_engine ?domains:engine_domains ();
     print_perf ~selection_timeout ();
-    print_serve ();
+    print_serve ~clients:serve_clients ();
     print_faults ();
     print_sweep ();
     print_ablation_cost ();
@@ -874,7 +1200,7 @@ let () =
     | None -> ());
     if has "--engine" then print_engine ?domains:engine_domains ();
     if has "--perf" then print_perf ~selection_timeout ();
-    if has "--serve" then print_serve ();
+    if has "--serve" then print_serve ~clients:serve_clients ();
     if has "--faults" then print_faults ();
     if has "--sweep" then print_sweep ();
     if has "--ablation-cost" then print_ablation_cost ();

@@ -1,8 +1,8 @@
 (* The ee_synthd daemon: a concurrent synthesis service over a Unix or TCP
    socket.  See lib/serve for the protocol and serving model.
 
-   ee_synthd --socket /tmp/ee.sock --jobs 4 --deadline 30
-   ee_synthd --tcp 127.0.0.1:7421 --cache-mb 128 --cache-dir /tmp/ee-cache *)
+   ee_synthd --socket /tmp/ee.sock --jobs 4 --shards 2 --deadline 30
+   ee_synthd --tcp 127.0.0.1:7421 --cache-mb 128 --tier /var/tmp/ee-tier *)
 
 open Cmdliner
 module Server = Ee_serve.Server
@@ -20,31 +20,48 @@ let address_of ~socket ~tcp =
           | Some p when p > 0 && p < 65536 -> Ok (`Tcp (host, p))
           | _ -> Error (`Msg (Printf.sprintf "bad port %S in --tcp" port))))
 
-let run socket tcp jobs queue deadline cache_mb cache_dir quiet =
+let run socket tcp jobs shards queue backlog deadline cache_mb cache_dir tier quiet =
+  (match (cache_dir, tier) with
+  | Some _, Some _ ->
+      prerr_endline "ee_synthd: give either --tier or --cache-dir, not both";
+      exit 2
+  | _ -> ());
   match address_of ~socket ~tcp with
   | Error (`Msg m) ->
       prerr_endline ("ee_synthd: " ^ m);
       exit 2
   | Ok address ->
       let d = Server.default_config in
+      let log = if quiet then ignore else fun m -> prerr_endline ("ee_synthd: " ^ m) in
       let domains = match jobs with Some j -> max 1 j | None -> d.Server.domains in
       let cfg =
         {
           d with
           Server.address;
+          shards = (match shards with Some s -> max 1 s | None -> d.Server.shards);
           domains;
           max_pending = (match queue with Some q -> max 1 q | None -> 4 * domains);
+          backlog;
           default_deadline_s = deadline;
           cache_max_bytes = cache_mb * 1024 * 1024;
-          cache_dir;
-          log = (if quiet then ignore else fun m -> prerr_endline ("ee_synthd: " ^ m));
+          cache_dir = (match tier with Some _ -> tier | None -> cache_dir);
+          log;
         }
       in
       let stop = Atomic.make false in
       let request_stop _ = Atomic.set stop true in
       ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
       ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
-      Server.serve ~stop cfg
+      (* --tier differs from --cache-dir only in startup behaviour: the
+         shared directory is preloaded into the memory LRU, so a restarted
+         or second daemon starts warm instead of paying disk hits. *)
+      match tier with
+      | None -> Server.serve ~stop cfg
+      | Some dir ->
+          let cache = Server.cache_of_config cfg in
+          let n = Ee_cache.Cache.preload cache in
+          log (Printf.sprintf "tier %s: preloaded %d entries" dir n);
+          Server.serve ~cache ~stop cfg
 
 let socket_t =
   Arg.(
@@ -64,12 +81,26 @@ let jobs_t =
     & opt (some int) None
     & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (default: the machine's recommended count).")
 
+let shards_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"IO shard domains: independent select loops the acceptor deals connections to (default 1).")
+
 let queue_t =
   Arg.(
     value
     & opt (some int) None
     & info [ "queue" ] ~docv:"N"
         ~doc:"Admission bound: requests in flight before rejecting with 'overloaded' (default 4x jobs).")
+
+let backlog_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "backlog" ] ~docv:"N"
+        ~doc:"Listen backlog (default: max 64 queue).")
 
 let deadline_t =
   Arg.(
@@ -87,6 +118,15 @@ let cache_dir_t =
     & opt (some string) None
     & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Persist cache entries to this directory.")
 
+let tier_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tier" ] ~docv:"DIR"
+        ~doc:
+          "Shared cross-instance cache tier: like --cache-dir, but existing entries are \
+           preloaded at startup.  Safe to share between two daemons on one host.")
+
 let quiet_t = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the startup/shutdown log lines.")
 
 let main =
@@ -94,7 +134,7 @@ let main =
   Cmd.v
     (Cmd.info "ee_synthd" ~doc)
     Term.(
-      const run $ socket_t $ tcp_t $ jobs_t $ queue_t $ deadline_t $ cache_mb_t
-      $ cache_dir_t $ quiet_t)
+      const run $ socket_t $ tcp_t $ jobs_t $ shards_t $ queue_t $ backlog_t
+      $ deadline_t $ cache_mb_t $ cache_dir_t $ tier_t $ quiet_t)
 
 let () = exit (Cmd.eval main)

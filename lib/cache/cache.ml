@@ -100,16 +100,84 @@ let insert t k v =
     t.bytes <- t.bytes + size
   end
 
-(* ---- persistence ---- *)
+(* ---- persistence (the cross-instance tier) ----
+
+   One content-addressed file per key, written to a unique temporary name
+   and renamed into place, so two daemon processes sharing the directory
+   can insert the same key concurrently without ever exposing a torn
+   value.  An append-only [index] file records one "<key> <bytes>" line
+   per insertion (O_APPEND, one small write per line — atomic on POSIX for
+   lines this short), giving later instances the insertion order for
+   {!preload} and cheap {!tier_stats} without a directory scan. *)
+
+let index_file = "index"
 
 let entry_path dir k = Filename.concat dir k
 
+(* Only content-addressed entries look like hex digests; the index and
+   in-flight temporaries never do. *)
+let is_entry_name name =
+  String.length name = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) name
+
+let index_append dir k size =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
+      (Filename.concat dir index_file)
+  in
+  output_string oc (Printf.sprintf "%s %d\n" k size);
+  close_out oc
+
+(* (key, bytes) pairs in insertion order (oldest first), duplicates kept.
+   Falls back to a directory scan — healing the index — for tiers written
+   before the index existed. *)
+let index_read dir =
+  let from_index () =
+    let ic = open_in_bin (Filename.concat dir index_file) in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.index_opt line ' ' with
+         | Some i ->
+             let k = String.sub line 0 i in
+             let size =
+               int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             if is_entry_name k then
+               entries := (k, Option.value size ~default:0) :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  in
+  if Sys.file_exists (Filename.concat dir index_file) then from_index ()
+  else begin
+    let scanned =
+      Array.to_list (Sys.readdir dir)
+      |> List.filter is_entry_name
+      |> List.filter_map (fun k ->
+             match open_in_bin (entry_path dir k) with
+             | ic ->
+                 let size = in_channel_length ic in
+                 close_in ic;
+                 Some (k, size)
+             | exception Sys_error _ -> None)
+    in
+    List.iter (fun (k, size) -> index_append dir k size) scanned;
+    scanned
+  end
+
 let persist dir k v =
-  let tmp = entry_path dir (k ^ ".tmp") in
+  (* [temp_file] picks a fresh name atomically even across processes; the
+     ".tmp-" prefix keeps it out of {!is_entry_name}'s namespace. *)
+  let tmp = Filename.temp_file ~temp_dir:dir ".tmp-" "" in
   let oc = open_out_bin tmp in
   output_string oc v;
   close_out oc;
-  Sys.rename tmp (entry_path dir k)
+  Sys.rename tmp (entry_path dir k);
+  index_append dir k (String.length v)
 
 let read_disk dir k =
   let path = entry_path dir k in
@@ -167,3 +235,55 @@ let clear t =
       t.mru <- None;
       t.lru <- None;
       t.bytes <- 0)
+
+(* ---- tier API ---- *)
+
+type tier_stats = { tier_entries : int; tier_bytes : int }
+
+let tier_stats t =
+  Option.map
+    (fun dir ->
+      (* Last write wins: later index lines supersede earlier ones. *)
+      let latest = Hashtbl.create 256 in
+      List.iter (fun (k, size) -> Hashtbl.replace latest k size) (index_read dir);
+      Hashtbl.fold
+        (fun _ size acc ->
+          { tier_entries = acc.tier_entries + 1; tier_bytes = acc.tier_bytes + size })
+        latest
+        { tier_entries = 0; tier_bytes = 0 })
+    t.persist_dir
+
+let preload ?limit t =
+  match t.persist_dir with
+  | None -> 0
+  | Some dir ->
+      (* Newest-first unique keys, truncated to [limit], then inserted
+         oldest-first so the newest entry ends up most-recently-used. *)
+      let seen = Hashtbl.create 256 in
+      let newest_first =
+        List.filter
+          (fun k ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev_map fst (index_read dir))
+      in
+      let chosen =
+        match limit with
+        | None -> newest_first
+        | Some n -> List.filteri (fun i _ -> i < max 0 n) newest_first
+      in
+      let loaded = ref 0 in
+      locked t (fun () ->
+          List.iter
+            (fun k ->
+              if not (Hashtbl.mem t.table k) then
+                match read_disk dir k with
+                | Some v ->
+                    insert t k v;
+                    incr loaded
+                | None -> ())
+            (List.rev chosen));
+      !loaded

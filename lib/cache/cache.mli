@@ -10,10 +10,19 @@
     O(1) apart from multi-entry eviction).
 
     With [persist_dir] every insertion is also written to disk (one file
-    per key, atomically via rename), and a miss falls back to the
-    directory before reporting failure — so a restarted daemon re-serves
-    previous results warm.  Disk reads count as {!stats.disk_hits} and
-    re-populate the in-memory tier. *)
+    per key, written to a unique temporary name and renamed into place),
+    and a miss falls back to the directory before reporting failure — so a
+    restarted daemon re-serves previous results warm.  Disk reads count as
+    {!stats.disk_hits} and re-populate the in-memory tier.
+
+    The directory is a {e cross-instance} tier: several [Cache.t] values —
+    in one process or in two daemon processes on the same host — may share
+    one [persist_dir].  Writers never expose torn values (unique temp file
+    + atomic rename; concurrent writers of the same key race benignly, the
+    content is identical by construction), and an append-only [index] file
+    records insertion order so {!preload} and {!tier_stats} avoid
+    directory scans.  A tier written before the index existed is healed by
+    scanning once. *)
 
 type t
 
@@ -49,3 +58,19 @@ val stats : t -> stats
 
 val clear : t -> unit
 (** Drop every in-memory entry (counters and disk files are kept). *)
+
+type tier_stats = {
+  tier_entries : int;  (** Distinct keys recorded in the tier index. *)
+  tier_bytes : int;  (** Payload bytes of those entries (latest write per key). *)
+}
+
+val tier_stats : t -> tier_stats option
+(** Size of the shared on-disk tier, from the index ([None] without
+    [persist_dir]).  Counts entries written by {e any} instance sharing
+    the directory, not just this one. *)
+
+val preload : ?limit:int -> t -> int
+(** Load tier entries into the in-memory LRU, newest insertions first,
+    stopping after [limit] entries (default: all).  Returns the number
+    loaded.  Preloaded entries count as neither hits nor insertions; the
+    newest entry ends up most recently used. *)

@@ -16,7 +16,13 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
   let rec attempt left =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () -> { fd; ic = Unix.in_channel_of_descr fd }
+    | () ->
+        (match address with
+        | `Tcp _ -> (
+            (* Pipelined single-line requests lose to Nagle otherwise. *)
+            try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+        | `Unix _ -> ());
+        { fd; ic = Unix.in_channel_of_descr fd }
     | exception Unix.Unix_error _ when left > 0 ->
         Unix.close fd;
         Unix.sleepf retry_delay_s;
@@ -27,14 +33,19 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
   in
   attempt retries
 
-let request_line t line =
+let send_line t line =
   let data = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length data in
   let off = ref 0 in
   while !off < len do
     off := !off + Unix.write t.fd data !off (len - !off)
-  done;
-  input_line t.ic
+  done
+
+let recv_line t = input_line t.ic
+
+let request_line t line =
+  send_line t line;
+  recv_line t
 
 let request t env =
   Json.parse (request_line t (Json.to_string (Protocol.envelope_to_json env)))

@@ -5,8 +5,17 @@ type t
 val connect : ?retries:int -> ?retry_delay_s:float -> Server.address -> t
 (** Connect to a running server.  Retries [retries] (default 0) times with
     [retry_delay_s] (default 0.1) between attempts — useful right after
-    spawning a daemon.  Raises [Unix.Unix_error] when every attempt
-    fails. *)
+    spawning a daemon.  Sets [TCP_NODELAY] on TCP connections.  Raises
+    [Unix.Unix_error] when every attempt fails. *)
+
+val send_line : t -> string -> unit
+(** Send one raw request line (no trailing newline) without waiting for
+    the response — pipelining primitive; responses arrive in send order
+    via {!recv_line}. *)
+
+val recv_line : t -> string
+(** Block for the next response line.  Raises [End_of_file] if the server
+    closes the connection first. *)
 
 val request_line : t -> string -> string
 (** Send one raw request line (no trailing newline) and block for the one

@@ -210,9 +210,13 @@ let ok_response ~id ~cmd ~cached ~elapsed_ms result =
            ("result", result);
          ]))
 
-let error_response ~id ~cmd ~code message =
+let error_response ?retry_after_s ~id ~cmd ~code message =
   Json.to_string
     (Json.Obj
        ([ ("status", Json.String "error"); ("cmd", Json.String cmd) ]
        @ (match id with Json.Null -> [] | id -> [ ("id", id) ])
-       @ [ ("error", Json.String code); ("message", Json.String message) ]))
+       @ [ ("error", Json.String code); ("message", Json.String message) ]
+       @
+       match retry_after_s with
+       | Some s -> [ ("retry_after_s", Json.Float s) ]
+       | None -> []))

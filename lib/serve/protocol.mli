@@ -36,11 +36,18 @@
     v}
 
     Error codes: [bad_request] (malformed JSON, unknown cmd, bad BLIF),
-    [not_found] (unknown benchmark id), [overloaded] (admission queue
-    full; retry later), [deadline_exceeded] (the deadline elapsed first —
-    the computation still completes in the background and warms the
-    cache), [internal] (the computation raised), [shutting_down].
-    Responses on one connection always arrive in request order. *)
+    [not_found] (unknown benchmark id), [throttled] (graded back-pressure:
+    the shard is past its throttle watermark and the request is
+    non-cacheable — retry after the accompanying ["retry_after_s"] hint),
+    [shed] (past the shed watermark: non-cacheable work is dropped to
+    protect cacheable throughput; back off harder than the hint),
+    [overloaded] (hard admission bound reached; nothing is admitted),
+    [deadline_exceeded] (the deadline elapsed first — the computation
+    still completes in the background and warms the cache), [internal]
+    (the computation raised), [shutting_down].  [throttled], [shed] and
+    [overloaded] responses carry a ["retry_after_s"] float estimating
+    when capacity frees up.  Responses on one connection always arrive
+    in request order. *)
 
 type request =
   | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Ee_engine.Engine.spec }
@@ -76,5 +83,11 @@ val ok_response :
 (** A single-line ["status":"ok"] response carrying [result]. *)
 
 val error_response :
-  id:Ee_export.Json.t -> cmd:string -> code:string -> string -> string
-(** A single-line ["status":"error"] response. *)
+  ?retry_after_s:float ->
+  id:Ee_export.Json.t ->
+  cmd:string ->
+  code:string ->
+  string ->
+  string
+(** A single-line ["status":"error"] response.  [retry_after_s] adds the
+    back-pressure hint field carried by [throttled]/[shed]/[overloaded]. *)

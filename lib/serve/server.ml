@@ -13,8 +13,12 @@ type address = [ `Unix of string | `Tcp of string * int ]
 
 type config = {
   address : address;
+  shards : int;
   domains : int;
   max_pending : int;
+  throttle_pending : int option;
+  shed_pending : int option;
+  backlog : int option;
   default_deadline_s : float option;
   cache_max_bytes : int;
   cache_dir : string option;
@@ -27,8 +31,12 @@ type config = {
 let default_config =
   {
     address = `Unix "ee_synthd.sock";
+    shards = 1;
     domains = Domain.recommended_domain_count ();
     max_pending = 4 * Domain.recommended_domain_count ();
+    throttle_pending = None;
+    shed_pending = None;
+    backlog = None;
     default_deadline_s = None;
     cache_max_bytes = 64 * 1024 * 1024;
     cache_dir = None;
@@ -37,6 +45,24 @@ let default_config =
     max_request_bytes = 8 * 1024 * 1024;
     log = ignore;
   }
+
+(* Watermarks of the graded admission ladder, clamped into
+   1 <= throttle <= shed <= max_pending. *)
+let tier_thresholds cfg =
+  let throttle =
+    match cfg.throttle_pending with
+    | Some t -> max 1 (min t cfg.max_pending)
+    | None -> max 1 (cfg.max_pending / 2)
+  in
+  let shed =
+    match cfg.shed_pending with
+    | Some s -> min (max throttle s) cfg.max_pending
+    | None -> max throttle (3 * cfg.max_pending / 4)
+  in
+  (throttle, shed)
+
+let backlog_of cfg =
+  match cfg.backlog with Some b -> max 1 b | None -> max 64 cfg.max_pending
 
 let cache_of_config cfg =
   Cache.create ~max_bytes:cfg.cache_max_bytes ?persist_dir:cfg.cache_dir ()
@@ -148,6 +174,9 @@ let faults_json ~spec ~waves b =
   in
   Json.raw_compact (Ee_fault.Campaign.to_json r)
 
+(* Compute-outside-the-lock: [Cache.find]/[Cache.add] each take the cache
+   mutex briefly, the synthesis itself runs unlocked.  Two workers racing
+   on one key both compute the identical payload; last insert wins. *)
 let with_cache cache key run =
   match Cache.find cache key with
   | Some payload -> (Json.Raw payload, true)
@@ -224,8 +253,16 @@ let compute ~trace ~cache (req : Protocol.request) =
           in
           with_cache cache key (fun () -> faults_json ~spec ~waves b))
 
+(* Is the computation's result cacheable?  Cacheable work is never
+   throttled or shed below the hard bound: rejecting it forfeits a cache
+   fill that would absorb the repeat traffic causing the load. *)
+let cacheable_req = function
+  | Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ -> true
+  | Protocol.Sleep _ -> false
+  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown -> false
+
 (* -------------------------------------------------------------------- *)
-(* Metrics                                                              *)
+(* Metrics (shared across shards and workers; one small mutex)          *)
 (* -------------------------------------------------------------------- *)
 
 (* Last-N latency samples per command; order does not matter for
@@ -241,21 +278,31 @@ let ring_add r v =
 let ring_values r = Array.sub r.samples 0 (min r.seen ring_capacity)
 
 type metrics = {
+  m_lock : Mutex.t;
   mutable total : int;
   ok_counts : (string, int ref) Hashtbl.t;  (* cmd -> ok responses *)
   err_counts : (string * string, int ref) Hashtbl.t;  (* cmd, code -> count *)
+  tier_counts : (string, int ref) Hashtbl.t;  (* admission tier -> count *)
   lats : (string, lat_ring) Hashtbl.t;
+  mutable work_ewma_s : float;  (* smoothed per-request worker occupancy *)
   started : float;
 }
 
 let metrics_create () =
   {
+    m_lock = Mutex.create ();
     total = 0;
     ok_counts = Hashtbl.create 8;
     err_counts = Hashtbl.create 8;
+    tier_counts = Hashtbl.create 4;
     lats = Hashtbl.create 8;
+    work_ewma_s = 0.;
     started = Unix.gettimeofday ();
   }
+
+let m_locked m f =
+  Mutex.lock m.m_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.m_lock) f
 
 let bump tbl key =
   match Hashtbl.find_opt tbl key with
@@ -263,92 +310,202 @@ let bump tbl key =
   | None -> Hashtbl.replace tbl key (ref 1)
 
 let record m ~cmd ~outcome ~lat_ms =
-  m.total <- m.total + 1;
-  (match outcome with
-  | `Ok -> bump m.ok_counts cmd
-  | `Error code -> bump m.err_counts (cmd, code));
-  let ring =
-    match Hashtbl.find_opt m.lats cmd with
-    | Some r -> r
-    | None ->
-        let r = { samples = Array.make ring_capacity 0.; seen = 0 } in
-        Hashtbl.replace m.lats cmd r;
-        r
-  in
-  ring_add ring lat_ms
+  m_locked m (fun () ->
+      m.total <- m.total + 1;
+      (match outcome with
+      | `Ok -> bump m.ok_counts cmd
+      | `Error code -> bump m.err_counts (cmd, code));
+      let ring =
+        match Hashtbl.find_opt m.lats cmd with
+        | Some r -> r
+        | None ->
+            let r = { samples = Array.make ring_capacity 0.; seen = 0 } in
+            Hashtbl.replace m.lats cmd r;
+            r
+      in
+      ring_add ring lat_ms)
 
-let metrics_json m ~inflight ~max_pending ~cache =
-  let cmds =
-    List.sort_uniq compare
-      (Hashtbl.fold (fun cmd _ acc -> cmd :: acc) m.ok_counts []
-      @ Hashtbl.fold (fun (cmd, _) _ acc -> cmd :: acc) m.err_counts [])
+let bump_tier m tier = m_locked m (fun () -> bump m.tier_counts tier)
+
+(* Worker-side occupancy sample: feeds the retry-after estimate. *)
+let note_work m dt =
+  m_locked m (fun () ->
+      m.work_ewma_s <-
+        (if m.work_ewma_s <= 0. then dt else (0.8 *. m.work_ewma_s) +. (0.2 *. dt)))
+
+(* Retry-after hint: roughly how long until the backlog in front of a
+   retry would drain, from the smoothed per-request worker time. *)
+let retry_after_hint m ~inflight ~workers =
+  let ewma = m_locked m (fun () -> m.work_ewma_s) in
+  let est =
+    if ewma <= 0. then 0.1
+    else ewma *. float_of_int (inflight + 1) /. float_of_int (max 1 workers)
   in
-  let command_json cmd =
-    let ok = match Hashtbl.find_opt m.ok_counts cmd with Some r -> !r | None -> 0 in
-    let errors =
-      Hashtbl.fold
-        (fun (c, code) r acc -> if c = cmd then (code, Json.Int !r) :: acc else acc)
-        m.err_counts []
-    in
-    let count = ok + List.fold_left (fun acc (_, j) -> acc + Option.get (Json.to_int j)) 0 errors in
-    let latency =
-      match Hashtbl.find_opt m.lats cmd with
-      | Some r when r.seen > 0 ->
-          let values = ring_values r in
-          let p q = Json.Float (Stats.percentile values q) in
-          [
-            ("latency_ms",
-             Json.Obj
-               [ ("p50", p 50.); ("p90", p 90.); ("p99", p 99.); ("max", p 100.) ]);
-          ]
-      | _ -> []
-    in
-    ( cmd,
-      Json.Obj
-        ([ ("count", Json.Int count); ("ok", Json.Int ok) ]
-        @ (if errors = [] then [] else [ ("errors", Json.Obj (List.sort compare errors)) ])
-        @ latency) )
+  Float.min 10. (Float.max 0.05 est)
+
+(* -------------------------------------------------------------------- *)
+(* Shards                                                               *)
+(* -------------------------------------------------------------------- *)
+
+(* One IO shard: a select loop over its adopted connections plus the read
+   end of a self-pipe.  The acceptor hands new fds over via [incoming];
+   pool workers write a wake byte when a result slot fills, so the loop
+   never needs a short poll tick to notice completions. *)
+type shard = {
+  sh_index : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  incoming_lock : Mutex.t;
+  mutable incoming : Unix.file_descr list;
+  handled : int Atomic.t;  (* responses written, for balance accounting *)
+}
+
+let wake sh =
+  (* Nonblocking: a full pipe already guarantees a pending wake-up. *)
+  try ignore (Unix.write sh.wake_w (Bytes.make 1 'w') 0 1) with Unix.Unix_error _ -> ()
+
+let drain_wake sh =
+  let buf = Bytes.create 512 in
+  let rec go () =
+    match Unix.read sh.wake_r buf 0 (Bytes.length buf) with
+    | n when n = Bytes.length buf -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
   in
-  let cs = Cache.stats cache in
-  let looked_up = cs.Cache.hits + cs.Cache.disk_hits + cs.Cache.misses in
-  let hit_rate =
-    if looked_up = 0 then Json.Null
-    else Json.Float (float_of_int (cs.Cache.hits + cs.Cache.disk_hits) /. float_of_int looked_up)
+  go ()
+
+let shards_json shards =
+  let handled = Array.map (fun sh -> Atomic.get sh.handled) shards in
+  let total = Array.fold_left ( + ) 0 handled in
+  let n = Array.length shards in
+  let balance =
+    if total = 0 then Json.Null
+    else
+      let mean = float_of_int total /. float_of_int n in
+      Json.Float (float_of_int (Array.fold_left min max_int handled) /. mean)
   in
   Json.Obj
     [
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. m.started));
-      ("requests_total", Json.Int m.total);
-      ("inflight", Json.Int inflight);
-      ("queue_limit", Json.Int max_pending);
-      ("commands", Json.Obj (List.map command_json cmds));
-      ( "cache",
-        Json.Obj
-          [
-            ("hits", Json.Int cs.Cache.hits);
-            ("disk_hits", Json.Int cs.Cache.disk_hits);
-            ("misses", Json.Int cs.Cache.misses);
-            ("insertions", Json.Int cs.Cache.insertions);
-            ("evictions", Json.Int cs.Cache.evictions);
-            ("entries", Json.Int cs.Cache.entries);
-            ("bytes", Json.Int cs.Cache.bytes);
-            ("max_bytes", Json.Int cs.Cache.max_bytes);
-            ("hit_rate", hit_rate);
-          ] );
+      ("count", Json.Int n);
+      ("requests", Json.List (Array.to_list (Array.map (fun h -> Json.Int h) handled)));
+      ("balance", balance);
     ]
 
 (* -------------------------------------------------------------------- *)
-(* Event loop                                                           *)
+(* Stats payload                                                        *)
 (* -------------------------------------------------------------------- *)
+
+let metrics_json m ~inflight ~cfg ~cache ~shards =
+  let cs = Cache.stats cache in
+  let tier = Cache.tier_stats cache in
+  let throttle, shed = tier_thresholds cfg in
+  m_locked m (fun () ->
+      let cmds =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun cmd _ acc -> cmd :: acc) m.ok_counts []
+          @ Hashtbl.fold (fun (cmd, _) _ acc -> cmd :: acc) m.err_counts [])
+      in
+      let command_json cmd =
+        let ok = match Hashtbl.find_opt m.ok_counts cmd with Some r -> !r | None -> 0 in
+        let errors =
+          Hashtbl.fold
+            (fun (c, code) r acc -> if c = cmd then (code, Json.Int !r) :: acc else acc)
+            m.err_counts []
+        in
+        let count =
+          ok + List.fold_left (fun acc (_, j) -> acc + Option.get (Json.to_int j)) 0 errors
+        in
+        let latency =
+          match Hashtbl.find_opt m.lats cmd with
+          | Some r when r.seen > 0 ->
+              let values = ring_values r in
+              let p q = Json.Float (Stats.percentile values q) in
+              [
+                ("latency_ms",
+                 Json.Obj
+                   [ ("p50", p 50.); ("p90", p 90.); ("p99", p 99.); ("max", p 100.) ]);
+              ]
+          | _ -> []
+        in
+        ( cmd,
+          Json.Obj
+            ([ ("count", Json.Int count); ("ok", Json.Int ok) ]
+            @ (if errors = [] then [] else [ ("errors", Json.Obj (List.sort compare errors)) ])
+            @ latency) )
+      in
+      let tier_count name =
+        (name, Json.Int (match Hashtbl.find_opt m.tier_counts name with Some r -> !r | None -> 0))
+      in
+      let looked_up = cs.Cache.hits + cs.Cache.disk_hits + cs.Cache.misses in
+      let hit_rate =
+        if looked_up = 0 then Json.Null
+        else
+          Json.Float
+            (float_of_int (cs.Cache.hits + cs.Cache.disk_hits) /. float_of_int looked_up)
+      in
+      Json.Obj
+        [
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. m.started));
+          ("requests_total", Json.Int m.total);
+          ("inflight", Json.Int inflight);
+          ("queue_limit", Json.Int cfg.max_pending);
+          ("throttle_pending", Json.Int throttle);
+          ("shed_pending", Json.Int shed);
+          ( "tiers",
+            Json.Obj (List.map tier_count [ "ok"; "throttled"; "shed"; "overloaded" ]) );
+          ("shards", shards_json shards);
+          ("commands", Json.Obj (List.map command_json cmds));
+          ( "cache",
+            Json.Obj
+              ([
+                 ("hits", Json.Int cs.Cache.hits);
+                 ("disk_hits", Json.Int cs.Cache.disk_hits);
+                 ("misses", Json.Int cs.Cache.misses);
+                 ("insertions", Json.Int cs.Cache.insertions);
+                 ("evictions", Json.Int cs.Cache.evictions);
+                 ("entries", Json.Int cs.Cache.entries);
+                 ("bytes", Json.Int cs.Cache.bytes);
+                 ("max_bytes", Json.Int cs.Cache.max_bytes);
+                 ("hit_rate", hit_rate);
+               ]
+              @
+              match tier with
+              | Some t ->
+                  [
+                    ("tier_entries", Json.Int t.Cache.tier_entries);
+                    ("tier_bytes", Json.Int t.Cache.tier_bytes);
+                  ]
+              | None -> []) );
+        ])
+
+(* -------------------------------------------------------------------- *)
+(* Per-shard event loop                                                 *)
+(* -------------------------------------------------------------------- *)
+
+(* A worker fills the slot, then wakes the owning shard.  The shard polls
+   slots without any pool round-trip, so one slow element of a batch
+   slice never delays the delivery of its finished siblings. *)
+type slot = (Json.t * bool, exn) result option Atomic.t
 
 type entry =
   | Ready of { line : string; cmd : string; outcome : [ `Ok | `Error of string ]; t0 : float }
   | Running of {
-      task : (Json.t * bool) Pool.task;
+      slot : slot;
       cmd : string;
       id : Json.t;
       t0 : float;
       deadline : float option;  (* absolute *)
+    }
+
+(* A classified request line, still in arrival order. *)
+type decision =
+  | Answer of { resp : string; cmd : string; outcome : [ `Ok | `Error of string ]; t0 : float }
+  | Admit of {
+      req : Protocol.request;
+      cmd : string;
+      id : Json.t;
+      t0 : float;
+      deadline : float option;
     }
 
 type conn = {
@@ -360,12 +517,12 @@ type conn = {
 
 let now () = Unix.gettimeofday ()
 
-let listen_socket = function
+let listen_socket ~backlog = function
   | `Unix path ->
       if Sys.file_exists path then Unix.unlink path;
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
+      Unix.listen fd backlog;
       fd
   | `Tcp (host, port) ->
       let addr =
@@ -375,7 +532,7 @@ let listen_socket = function
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (addr, port));
-      Unix.listen fd 64;
+      Unix.listen fd backlog;
       fd
 
 let write_all conn line =
@@ -389,105 +546,172 @@ let write_all conn line =
       done
     with Unix.Unix_error _ -> conn.alive <- false
 
-let serve ?cache ?stop cfg =
-  let cache = match cache with Some c -> c | None -> cache_of_config cfg in
-  let stop = match stop with Some s -> s | None -> Atomic.make false in
-  (match Sys.os_type with
-  | "Unix" -> ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-  | _ -> ());
-  let listen_fd = listen_socket cfg.address in
-  Unix.set_nonblock listen_fd;
-  let pool = Pool.create ~force_spawn:true ~domains:cfg.domains () in
-  let inflight = Atomic.make 0 in
-  let metrics = metrics_create () in
+let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
+  let throttle, shed = tier_thresholds cfg in
+  let workers = Pool.size pool in
   let conns : conn list ref = ref [] in
-  let listen_open = ref true in
   let stop_at = ref None in
-  cfg.log
-    (Printf.sprintf "listening on %s (domains=%d queue=%d cache=%dMiB)"
-       (match cfg.address with
-       | `Unix p -> "unix:" ^ p
-       | `Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
-       (Pool.size pool) cfg.max_pending
-       (cfg.cache_max_bytes / (1024 * 1024)));
 
-  let submit req =
-    Atomic.incr inflight;
-    match
-      Pool.submit pool (fun () ->
-          Fun.protect
-            ~finally:(fun () -> Atomic.decr inflight)
-            (fun () -> compute ~trace:cfg.trace ~cache req))
-    with
-    | task -> task
-    | exception e ->
-        Atomic.decr inflight;
-        raise e
+  (* Count before writing: a client that has read its response (and may
+     immediately ask for stats) must already be visible in the counter. *)
+  let respond conn line =
+    Atomic.incr sh.handled;
+    write_all conn line
   in
 
-  let handle_line conn line =
+  (* -- classification: one decision per request line -- *)
+  let classify ~admitted line =
     let t0 = now () in
-    let ready ~cmd ~outcome resp =
-      Queue.add (Ready { line = resp; cmd; outcome; t0 }) conn.queue
-    in
+    let answer ~cmd ~outcome resp = Answer { resp; cmd; outcome; t0 } in
     match Protocol.parse_line line with
     | Error msg ->
-        ready ~cmd:"?" ~outcome:(`Error "bad_request")
+        answer ~cmd:"?" ~outcome:(`Error "bad_request")
           (Protocol.error_response ~id:Json.Null ~cmd:"?" ~code:"bad_request" msg)
     | Ok env -> (
         let cmd = Protocol.cmd_name env.Protocol.req in
         let id = env.Protocol.id in
         if Atomic.get stop then
-          ready ~cmd ~outcome:(`Error "shutting_down")
+          answer ~cmd ~outcome:(`Error "shutting_down")
             (Protocol.error_response ~id ~cmd ~code:"shutting_down"
                "server is shutting down")
         else
           match env.Protocol.req with
           | Protocol.Stats ->
-              ready ~cmd ~outcome:`Ok
+              answer ~cmd ~outcome:`Ok
                 (Protocol.ok_response ~id ~cmd ~cached:false
                    ~elapsed_ms:((now () -. t0) *. 1000.)
-                   (metrics_json metrics ~inflight:(Atomic.get inflight)
-                      ~max_pending:cfg.max_pending ~cache))
+                   (metrics_json metrics ~inflight:(Atomic.get inflight) ~cfg ~cache
+                      ~shards))
           | Protocol.Ping ->
-              ready ~cmd ~outcome:`Ok
-                (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0.
-                   (Json.Obj []))
+              answer ~cmd ~outcome:`Ok
+                (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0. (Json.Obj []))
           | Protocol.Shutdown ->
               cfg.log "shutdown requested";
               Atomic.set stop true;
-              ready ~cmd ~outcome:`Ok
+              answer ~cmd ~outcome:`Ok
                 (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0.
                    (Json.Obj [ ("stopping", Json.Bool true) ]))
           | (Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ | Protocol.Sleep _)
             as req -> (
               (* Fast path: a repeat of a benchmark request whose canonical
                  BLIF is memoized can be answered from the cache inline,
-                 without occupying a worker or waiting a loop tick. *)
+                 without occupying a worker or waiting for a wake-up. *)
               match Option.bind (probe_key req) (Cache.find cache) with
               | Some payload ->
-                  ready ~cmd ~outcome:`Ok
+                  answer ~cmd ~outcome:`Ok
                     (Protocol.ok_response ~id ~cmd ~cached:true
                        ~elapsed_ms:((now () -. t0) *. 1000.)
                        (Json.Raw payload))
               | None ->
-                  if Atomic.get inflight >= cfg.max_pending then
-                    ready ~cmd ~outcome:(`Error "overloaded")
-                      (Protocol.error_response ~id ~cmd ~code:"overloaded"
-                         (Printf.sprintf "admission queue full (%d in flight)"
-                            cfg.max_pending))
-                  else
+                  (* Graded admission.  [admitted] counts lines admitted
+                     earlier in this same batch, whose slices are not yet
+                     submitted — without it a pipelined batch would be
+                     classified against a stale in-flight count. *)
+                  let eff = Atomic.get inflight + !admitted in
+                  let reject tier detail =
+                    bump_tier metrics tier;
+                    let retry_after_s =
+                      retry_after_hint metrics ~inflight:eff ~workers
+                    in
+                    answer ~cmd ~outcome:(`Error tier)
+                      (Protocol.error_response ~retry_after_s ~id ~cmd ~code:tier
+                         detail)
+                  in
+                  let admit () =
+                    bump_tier metrics "ok";
+                    incr admitted;
                     let deadline =
                       match (env.Protocol.deadline_s, cfg.default_deadline_s) with
                       | Some d, _ | None, Some d -> Some (t0 +. d)
                       | None, None -> None
                     in
-                    Queue.add
-                      (Running { task = submit req; cmd; id; t0; deadline })
-                      conn.queue))
+                    Admit { req; cmd; id; t0; deadline }
+                  in
+                  if eff >= cfg.max_pending then
+                    reject "overloaded"
+                      (Printf.sprintf "admission queue full (%d in flight)"
+                         cfg.max_pending)
+                  else if cacheable_req req then admit ()
+                  else if eff >= shed then
+                    reject "shed"
+                      (Printf.sprintf
+                         "load shedding non-cacheable work (%d in flight >= shed \
+                          watermark %d)"
+                         eff shed)
+                  else if eff >= throttle then
+                    reject "throttled"
+                      (Printf.sprintf
+                         "past throttle watermark (%d in flight >= %d); retry after \
+                          the hint"
+                         eff throttle)
+                  else admit ()))
+  in
+
+  (* -- batch slice submission: the admitted lines of one read, chunked
+        map_chunked-style into at most two slices per worker, one pool
+        submission per slice -- *)
+  let submit_batch (admits : decision array) : slot array =
+    let n = Array.length admits in
+    let slots : slot array = Array.init n (fun _ -> Atomic.make None) in
+    let req_of = function
+      | Admit a -> a.req
+      | Answer _ -> assert false
+    in
+    let chunk = max 1 ((n + (2 * workers) - 1) / (2 * workers)) in
+    let i = ref 0 in
+    while !i < n do
+      let lo = !i in
+      let hi = min n (lo + chunk) in
+      i := hi;
+      let count = hi - lo in
+      ignore (Atomic.fetch_and_add inflight count);
+      match
+        Pool.submit pool (fun () ->
+            for j = lo to hi - 1 do
+              let t_start = now () in
+              let res =
+                try Ok (compute ~trace:cfg.trace ~cache (req_of admits.(j)))
+                with e -> Error e
+              in
+              Atomic.decr inflight;
+              note_work metrics (now () -. t_start);
+              Atomic.set slots.(j) (Some res);
+              wake sh
+            done)
+      with
+      | (_ : unit Pool.task) -> ()
+      | exception e ->
+          ignore (Atomic.fetch_and_add inflight (-count));
+          for j = lo to hi - 1 do
+            Atomic.set slots.(j) (Some (Error e))
+          done
+    done;
+    slots
+  in
+
+  let handle_batch conn lines =
+    let admitted = ref 0 in
+    let decisions = List.map (fun line -> classify ~admitted line) lines in
+    let admits =
+      Array.of_list (List.filter (function Admit _ -> true | Answer _ -> false) decisions)
+    in
+    let slots = submit_batch admits in
+    let k = ref 0 in
+    List.iter
+      (fun d ->
+        match d with
+        | Answer { resp; cmd; outcome; t0 } ->
+            Queue.add (Ready { line = resp; cmd; outcome; t0 }) conn.queue
+        | Admit a ->
+            Queue.add
+              (Running { slot = slots.(!k); cmd = a.cmd; id = a.id; t0 = a.t0; deadline = a.deadline })
+              conn.queue;
+            incr k)
+      decisions
   in
 
   let process_input conn =
+    let lines = ref [] in
     let rec split () =
       match String.index_opt conn.inbuf '\n' with
       | None -> ()
@@ -500,10 +724,11 @@ let serve ?cache ?stop cfg =
               String.sub line 0 (String.length line - 1)
             else line
           in
-          if line <> "" then handle_line conn line;
+          if line <> "" then lines := line :: !lines;
           split ()
     in
     split ();
+    if !lines <> [] then handle_batch conn (List.rev !lines);
     if String.length conn.inbuf > cfg.max_request_bytes then begin
       write_all conn
         (Protocol.error_response ~id:Json.Null ~cmd:"?" ~code:"bad_request"
@@ -530,35 +755,34 @@ let serve ?cache ?stop cfg =
       match Queue.peek conn.queue with
       | Ready { line; cmd; outcome; t0 } ->
           ignore (Queue.pop conn.queue);
-          write_all conn line;
+          respond conn line;
           record metrics ~cmd ~outcome ~lat_ms:((now () -. t0) *. 1000.)
-      | Running { task; cmd; id; t0; deadline } -> (
-          match Pool.await_timeout task ~timeout_s:0. with
-          | Ok (payload, cached) ->
+      | Running { slot; cmd; id; t0; deadline } -> (
+          match Atomic.get slot with
+          | Some (Ok (payload, cached)) ->
               ignore (Queue.pop conn.queue);
-              write_all conn
+              respond conn
                 (Protocol.ok_response ~id ~cmd ~cached
                    ~elapsed_ms:((now () -. t0) *. 1000.)
                    payload);
               record metrics ~cmd ~outcome:`Ok ~lat_ms:((now () -. t0) *. 1000.)
-          | Error (`Failed (Reject (code, msg), _)) ->
+          | Some (Error (Reject (code, msg))) ->
               ignore (Queue.pop conn.queue);
-              write_all conn (Protocol.error_response ~id ~cmd ~code msg);
+              respond conn (Protocol.error_response ~id ~cmd ~code msg);
               record metrics ~cmd ~outcome:(`Error code)
                 ~lat_ms:((now () -. t0) *. 1000.)
-          | Error (`Failed (e, _)) ->
+          | Some (Error e) ->
               ignore (Queue.pop conn.queue);
-              write_all conn
+              respond conn
                 (Protocol.error_response ~id ~cmd ~code:"internal"
                    (Printexc.to_string e));
               record metrics ~cmd ~outcome:(`Error "internal")
                 ~lat_ms:((now () -. t0) *. 1000.)
-          | Error `Timed_out -> (
-              (* Still pending; the name refers to the 0 s poll window. *)
+          | None -> (
               match deadline with
               | Some d when now () >= d ->
                   ignore (Queue.pop conn.queue);
-                  write_all conn
+                  respond conn
                     (Protocol.error_response ~id ~cmd ~code:"deadline_exceeded"
                        (Printf.sprintf
                           "no result within %.3fs; the computation continues and \
@@ -574,37 +798,43 @@ let serve ?cache ?stop cfg =
     Queue.iter
       (function
         | Running { cmd; id; _ } ->
-            write_all conn
+            respond conn
               (Protocol.error_response ~id ~cmd ~code:"shutting_down"
                  "server stopped before the computation finished")
-        | Ready { line; _ } -> write_all conn line)
+        | Ready { line; _ } -> respond conn line)
       conn.queue;
     Queue.clear conn.queue
   in
 
-  let accept_new () =
-    let continue = ref true in
-    while !continue do
-      match Unix.accept ~cloexec:true listen_fd with
-      | fd, _ ->
-          conns :=
-            { fd; inbuf = ""; queue = Queue.create (); alive = true } :: !conns
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        ->
-          continue := false
-      | exception Unix.Unix_error _ -> continue := false
-    done
+  (* The select timeout only has to cover what the wake pipe cannot:
+     pending deadlines and the stop flag.  Worker completions and new
+     connections both arrive as wake bytes. *)
+  let select_timeout ~stopping =
+    let base = if stopping then 0.01 else 0.05 in
+    let nearest =
+      List.fold_left
+        (fun acc c ->
+          match Queue.peek_opt c.queue with
+          | Some (Running { deadline = Some d; _ }) -> (
+              match acc with None -> Some d | Some a -> Some (Float.min a d))
+          | _ -> acc)
+        None !conns
+    in
+    match nearest with
+    | Some d -> Float.max 0. (Float.min base (d -. now ()))
+    | None -> base
   in
 
   let rec loop () =
-    let stopping = Atomic.get stop in
-    if stopping then begin
-      if !stop_at = None then stop_at := Some (now ());
-      if !listen_open then begin
-        Unix.close listen_fd;
-        listen_open := false
-      end
-    end;
+    (* Adopt connections handed over by the acceptor. *)
+    Mutex.lock sh.incoming_lock;
+    let fresh = sh.incoming in
+    sh.incoming <- [];
+    Mutex.unlock sh.incoming_lock;
+    List.iter
+      (fun fd ->
+        conns := { fd; inbuf = ""; queue = Queue.create (); alive = true } :: !conns)
+      fresh;
     (* Drop closed connections. *)
     conns :=
       List.filter
@@ -615,6 +845,9 @@ let serve ?cache ?stop cfg =
             false
           end)
         !conns;
+    List.iter pump !conns;
+    let stopping = Atomic.get stop in
+    if stopping && !stop_at = None then stop_at := Some (now ());
     let drained = List.for_all (fun c -> Queue.is_empty c.queue) !conns in
     let grace_over =
       match !stop_at with Some t -> now () -. t > cfg.shutdown_grace_s | None -> false
@@ -623,35 +856,136 @@ let serve ?cache ?stop cfg =
       if not drained then List.iter flush_shutting_down !conns
     end
     else begin
-      let fds =
-        (if !listen_open then [ listen_fd ] else [])
-        @ List.map (fun c -> c.fd) !conns
-      in
+      let fds = sh.wake_r :: List.map (fun c -> c.fd) !conns in
       let readable, _, _ =
-        match Unix.select fds [] [] 0.02 with
+        match Unix.select fds [] [] (select_timeout ~stopping) with
         | r -> r
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
         | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
       in
-      if !listen_open && List.mem listen_fd readable then accept_new ();
-      List.iter
-        (fun c -> if c.alive && List.mem c.fd readable then read_chunk c)
-        !conns;
+      if List.mem sh.wake_r readable then drain_wake sh;
+      List.iter (fun c -> if c.alive && List.mem c.fd readable then read_chunk c) !conns;
       List.iter pump !conns;
       loop ()
     end
   in
   loop ();
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
-  if !listen_open then Unix.close listen_fd;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns
+
+(* -------------------------------------------------------------------- *)
+(* Acceptor + lifecycle                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let acceptor ~cfg ~stop ~shards listen_fd =
+  let next = ref 0 in
+  let accept_all () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | fd, _ ->
+          (match cfg.address with
+          | `Tcp _ -> (
+              try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+          | `Unix _ -> ());
+          let sh = shards.(!next mod Array.length shards) in
+          incr next;
+          Mutex.lock sh.incoming_lock;
+          sh.incoming <- fd :: sh.incoming;
+          Mutex.unlock sh.incoming_lock;
+          wake sh
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error _ -> continue := false
+    done
+  in
+  let rec loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> accept_all ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let serve ?cache ?stop cfg =
+  let cache = match cache with Some c -> c | None -> cache_of_config cfg in
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
+  (match Sys.os_type with
+  | "Unix" -> ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  | _ -> ());
+  let listen_fd = listen_socket ~backlog:(backlog_of cfg) cfg.address in
+  Unix.set_nonblock listen_fd;
+  let pool = Pool.create ~force_spawn:true ~domains:cfg.domains () in
+  let inflight = Atomic.make 0 in
+  let metrics = metrics_create () in
+  let nshards = max 1 (min 64 cfg.shards) in
+  let shards =
+    Array.init nshards (fun i ->
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        {
+          sh_index = i;
+          wake_r;
+          wake_w;
+          incoming_lock = Mutex.create ();
+          incoming = [];
+          handled = Atomic.make 0;
+        })
+  in
+  cfg.log
+    (Printf.sprintf "listening on %s (shards=%d domains=%d queue=%d backlog=%d cache=%dMiB)"
+       (match cfg.address with
+       | `Unix p -> "unix:" ^ p
+       | `Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+       nshards (Pool.size pool) cfg.max_pending (backlog_of cfg)
+       (cfg.cache_max_bytes / (1024 * 1024)));
+  let shard_domains =
+    Array.map
+      (fun sh ->
+        Domain.spawn (fun () ->
+            shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh))
+      shards
+  in
+  acceptor ~cfg ~stop ~shards listen_fd;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Array.iter wake shards;
+  Array.iter Domain.join shard_domains;
+  (* Connections the acceptor handed over in the instant a stopping shard
+     was exiting were never adopted; close them or their clients would
+     block forever on a leaked open fd. *)
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.incoming_lock;
+      let orphans = sh.incoming in
+      sh.incoming <- [];
+      Mutex.unlock sh.incoming_lock;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) orphans)
+    shards;
   (match cfg.address with
   | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | `Tcp _ -> ());
-  (* A worker stuck past its deadline would block a joining shutdown. *)
+  (* A worker stuck past its deadline would block a joining shutdown.  The
+     wake pipes may only be closed after a clean join: an abandoned worker
+     still writes its wake byte, and a recycled fd number must not receive
+     it. *)
   let leftover = Atomic.get inflight in
-  if leftover = 0 then Pool.shutdown pool else Pool.abandon pool;
+  if leftover = 0 then begin
+    Pool.shutdown pool;
+    Array.iter
+      (fun sh ->
+        (try Unix.close sh.wake_r with Unix.Unix_error _ -> ());
+        try Unix.close sh.wake_w with Unix.Unix_error _ -> ())
+      shards
+  end
+  else Pool.abandon pool;
+  let total = m_locked metrics (fun () -> metrics.total) in
   cfg.log
-    (if leftover = 0 then Printf.sprintf "stopped after %d requests" metrics.total
+    (if leftover = 0 then Printf.sprintf "stopped after %d requests" total
      else
-       Printf.sprintf "stopped after %d requests (%d abandoned in flight)"
-         metrics.total leftover)
+       Printf.sprintf "stopped after %d requests (%d abandoned in flight)" total
+         leftover)

@@ -83,6 +83,72 @@ let test_persistence () =
       ignore (Cache.find c2 k);
       Alcotest.(check int) "memory hit after re-population" 1 (Cache.stats c2).Cache.hits)
 
+let test_cross_instance_tier () =
+  (* Two live caches over one directory — as with two daemons sharing a
+     host tier.  Writes from either side are visible to the other via
+     disk, and concurrent writers never corrupt the index. *)
+  with_temp_dir (fun dir ->
+      let a = Cache.create ~persist_dir:dir () in
+      let b = Cache.create ~persist_dir:dir () in
+      let ka = Cache.key [ "from-a" ] and kb = Cache.key [ "from-b" ] in
+      Cache.add a ~key:ka "written by a";
+      Cache.add b ~key:kb "written by b";
+      Alcotest.(check (option string)) "b sees a's entry" (Some "written by a")
+        (Cache.find b ka);
+      Alcotest.(check (option string)) "a sees b's entry" (Some "written by b")
+        (Cache.find a kb);
+      (* Overwrites append to the index; stats must count each key once,
+         at its latest size. *)
+      Cache.add a ~key:ka "rewritten by a, longer payload";
+      match Cache.tier_stats a with
+      | None -> Alcotest.fail "tier_stats on a persistent cache"
+      | Some ts ->
+          Alcotest.(check int) "two distinct keys on disk" 2 ts.Cache.tier_entries;
+          Alcotest.(check int) "latest sizes, not the sum of history"
+            (String.length "rewritten by a, longer payload" + String.length "written by b")
+            ts.Cache.tier_bytes)
+
+let test_preload () =
+  with_temp_dir (fun dir ->
+      let writer = Cache.create ~persist_dir:dir () in
+      for i = 1 to 5 do
+        Cache.add writer ~key:(Cache.key [ "warm"; string_of_int i ])
+          (Printf.sprintf "payload-%d" i)
+      done;
+      (* A fresh instance starts cold, then preload pulls the tier into
+         memory so the first lookups are already memory hits. *)
+      let fresh = Cache.create ~persist_dir:dir () in
+      Alcotest.(check int) "empty before preload" 0 (Cache.stats fresh).Cache.entries;
+      Alcotest.(check int) "preload loads every entry" 5 (Cache.preload fresh);
+      Alcotest.(check int) "resident after preload" 5 (Cache.stats fresh).Cache.entries;
+      ignore (Cache.find fresh (Cache.key [ "warm"; "3" ]));
+      let s = Cache.stats fresh in
+      Alcotest.(check int) "memory hit, no disk round-trip" 1 s.Cache.hits;
+      Alcotest.(check int) "no disk hits" 0 s.Cache.disk_hits;
+      (* preload is idempotent and bounded by ?limit. *)
+      Alcotest.(check int) "already resident" 0 (Cache.preload fresh);
+      let capped = Cache.create ~persist_dir:dir () in
+      Alcotest.(check int) "limit honoured" 2 (Cache.preload ~limit:2 capped);
+      (* A memory-only cache has no tier to preload. *)
+      let mem = Cache.create () in
+      Alcotest.(check int) "no tier, nothing loaded" 0 (Cache.preload mem);
+      Alcotest.(check bool) "no tier stats" true (Cache.tier_stats mem = None))
+
+let test_index_healing () =
+  (* The index is a convenience; deleting it must not lose the tier.  A
+     new instance rebuilds it by scanning the content-addressed files. *)
+  with_temp_dir (fun dir ->
+      let writer = Cache.create ~persist_dir:dir () in
+      let k1 = Cache.key [ "heal"; "1" ] and k2 = Cache.key [ "heal"; "2" ] in
+      Cache.add writer ~key:k1 "one";
+      Cache.add writer ~key:k2 "two";
+      Sys.remove (Filename.concat dir "index");
+      let healed = Cache.create ~persist_dir:dir () in
+      Alcotest.(check int) "both entries recovered by scan" 2 (Cache.preload healed);
+      Alcotest.(check (option string)) "payload intact" (Some "one") (Cache.find healed k1);
+      Alcotest.(check bool) "index rewritten" true
+        (Sys.file_exists (Filename.concat dir "index")))
+
 let test_clear () =
   let c = Cache.create () in
   Cache.add c ~key:(Cache.key [ "a" ]) "1";
@@ -126,6 +192,9 @@ let suite =
       Alcotest.test_case "LRU eviction under byte budget" `Quick test_lru_eviction;
       Alcotest.test_case "oversize value bypasses memory" `Quick test_oversize_value;
       Alcotest.test_case "disk persistence across restart" `Quick test_persistence;
+      Alcotest.test_case "cross-instance shared tier" `Quick test_cross_instance_tier;
+      Alcotest.test_case "preload warms a fresh instance" `Quick test_preload;
+      Alcotest.test_case "index healing after deletion" `Quick test_index_healing;
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "concurrent domains" `Quick test_concurrent_access;
     ] )

@@ -108,7 +108,8 @@ let test_protocol_rejects () =
 
 let sock_counter = ref 0
 
-let with_server ?(domains = 1) ?(max_pending = 8) ?default_deadline_s f =
+let with_server ?(shards = 1) ?(domains = 1) ?(max_pending = 8) ?throttle_pending
+    ?shed_pending ?backlog ?default_deadline_s f =
   incr sock_counter;
   let sock =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -119,8 +120,12 @@ let with_server ?(domains = 1) ?(max_pending = 8) ?default_deadline_s f =
     {
       Server.default_config with
       Server.address = `Unix sock;
+      shards;
       domains;
       max_pending;
+      throttle_pending;
+      shed_pending;
+      backlog;
       default_deadline_s;
       shutdown_grace_s = 1.;
     }
@@ -296,6 +301,146 @@ let test_e2e_shutdown () =
       Alcotest.(check bool) "server stopped accepting" true gone)
   (* with_server joins the server domain, proving the loop terminated. *)
 
+let test_tier_thresholds () =
+  let cfg = { Server.default_config with Server.max_pending = 8 } in
+  Alcotest.(check (pair int int)) "defaults at half and three-quarters" (4, 6)
+    (Server.tier_thresholds cfg);
+  Alcotest.(check (pair int int)) "explicit watermarks" (2, 5)
+    (Server.tier_thresholds
+       { cfg with Server.throttle_pending = Some 2; shed_pending = Some 5 });
+  Alcotest.(check (pair int int)) "clamped into 1 <= t <= s <= max_pending" (1, 8)
+    (Server.tier_thresholds
+       { cfg with Server.throttle_pending = Some 0; shed_pending = Some 99 });
+  Alcotest.(check (pair int int)) "shed never below throttle" (6, 6)
+    (Server.tier_thresholds
+       { cfg with Server.throttle_pending = Some 6; shed_pending = Some 2 });
+  Alcotest.(check int) "backlog defaults to at least the admission bound" 64
+    (Server.backlog_of cfg);
+  Alcotest.(check int) "large queues widen the backlog" 200
+    (Server.backlog_of { cfg with Server.max_pending = 200 });
+  Alcotest.(check int) "explicit backlog wins" 4
+    (Server.backlog_of { cfg with Server.backlog = Some 4 })
+
+let test_e2e_tier_ladder () =
+  (* One worker, three admission slots, watermarks at 1 (throttle) and 2
+     (shed).  A single pipelined batch walks the whole ladder: the sleep
+     holds the worker so in-flight counts cannot drain mid-batch. *)
+  with_server ~domains:1 ~max_pending:3 ~throttle_pending:1 ~shed_pending:2
+    (fun sock ->
+      let lines =
+        [
+          "{\"cmd\":\"sleep\",\"seconds\":0.6,\"id\":0}";
+          "{\"cmd\":\"sleep\",\"seconds\":0.1,\"id\":1}";
+          "{\"cmd\":\"synth\",\"bench\":\"b02\",\"vectors\":5,\"id\":2}";
+          "{\"cmd\":\"sleep\",\"seconds\":0.1,\"id\":3}";
+          "{\"cmd\":\"synth\",\"bench\":\"b03\",\"vectors\":5,\"id\":4}";
+          "{\"cmd\":\"synth\",\"bench\":\"b04\",\"vectors\":5,\"id\":5}";
+          "{\"cmd\":\"ping\",\"id\":6}";
+        ]
+      in
+      let c = Client.connect ~retries:100 (`Unix sock) in
+      Client.send_line c (String.concat "\n" lines);
+      let resp () =
+        match Json.parse (Client.recv_line c) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bad response: %s" e
+      in
+      (* id 0: first sleep admitted — occupies the worker. *)
+      check_status (resp ()) "ok";
+      (* id 1: past the throttle watermark, with a retry hint. *)
+      let throttled = resp () in
+      check_error throttled "throttled";
+      Alcotest.(check bool) "retry_after_s > 0" true
+        (match Option.bind (Json.member "retry_after_s" throttled) Json.to_float with
+        | Some s -> s > 0.
+        | None -> false);
+      (* id 2: cacheable work rides through the throttle/shed tiers. *)
+      check_status (resp ()) "ok";
+      (* id 3: non-cacheable work past the shed watermark. *)
+      check_error (resp ()) "shed";
+      (* id 4: cacheable, still under max_pending. *)
+      check_status (resp ()) "ok";
+      (* id 5: the queue is full — even cacheable work is rejected. *)
+      check_error (resp ()) "overloaded";
+      (* id 6: ping is answered inline regardless of load. *)
+      check_status (resp ()) "ok";
+      Client.close c;
+      (* The b02 result landed in the cache despite the storm around it. *)
+      let r = send sock "{\"cmd\":\"synth\",\"bench\":\"b02\",\"vectors\":5}" in
+      check_status r "ok";
+      Alcotest.(check (option bool)) "b02 cached" (Some true)
+        (Option.bind (Json.member "cached" r) Json.to_bool);
+      (* Stats expose per-tier counters. *)
+      let s = send sock "{\"cmd\":\"stats\"}" in
+      let tier name =
+        match Option.bind (get s [ "result"; "tiers"; name ]) Json.to_int with
+        | Some n -> n
+        | None -> Alcotest.failf "missing tier counter %s" name
+      in
+      Alcotest.(check bool) "ok tier counted" true (tier "ok" >= 3);
+      Alcotest.(check bool) "throttled counted" true (tier "throttled" >= 1);
+      Alcotest.(check bool) "shed counted" true (tier "shed" >= 1);
+      Alcotest.(check bool) "overloaded counted" true (tier "overloaded" >= 1))
+
+let test_e2e_pipelined_batch_order () =
+  (* Ten requests in one write; the ten responses come back in send order
+     even though the admitted work fans out across pool slices. *)
+  with_server ~domains:2 ~max_pending:16 (fun sock ->
+      let n = 10 in
+      let lines =
+        List.init n (fun i ->
+            if i mod 3 = 0 then Printf.sprintf "{\"cmd\":\"ping\",\"id\":%d}" i
+            else
+              Printf.sprintf "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":%d,\"id\":%d}"
+                (5 + (i mod 2)) i)
+      in
+      let c = Client.connect ~retries:100 (`Unix sock) in
+      Client.send_line c (String.concat "\n" lines);
+      let ids =
+        List.init n (fun _ ->
+            match Json.parse (Client.recv_line c) with
+            | Ok j -> (
+                check_status j "ok";
+                match Option.bind (Json.member "id" j) Json.to_int with
+                | Some id -> id
+                | None -> Alcotest.fail "response without id")
+            | Error e -> Alcotest.failf "bad response: %s" e)
+      in
+      Client.close c;
+      Alcotest.(check (list int)) "responses in send order" (List.init n Fun.id) ids)
+
+let test_e2e_multi_shard () =
+  (* Three shard loops behind one acceptor: connections land round-robin,
+     every one is served, and stats report per-shard request counts. *)
+  with_server ~shards:3 ~domains:2 ~max_pending:16 ~backlog:4 (fun sock ->
+      let conns = List.init 6 (fun _ -> Client.connect ~retries:100 (`Unix sock)) in
+      List.iteri
+        (fun i c ->
+          let r =
+            Client.request_line c
+              (Printf.sprintf "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5,\"id\":%d}" i)
+          in
+          match Json.parse r with
+          | Ok j -> check_status j "ok"
+          | Error e -> Alcotest.failf "bad response: %s" e)
+        conns;
+      let s = send sock "{\"cmd\":\"stats\"}" in
+      List.iter Client.close conns;
+      Alcotest.(check (option int)) "three shards reported" (Some 3)
+        (Option.bind (get s [ "result"; "shards"; "count" ]) Json.to_int);
+      let served =
+        match get s [ "result"; "shards"; "requests" ] with
+        | Some (Json.List l) -> List.filter_map Json.to_int l
+        | _ -> []
+      in
+      Alcotest.(check int) "requests list has one entry per shard" 3 (List.length served);
+      (* The stats snapshot predates its own response, so it sees the six
+         synth replies but not necessarily itself. *)
+      Alcotest.(check bool) "every request answered by some shard" true
+        (List.fold_left ( + ) 0 served >= 6);
+      Alcotest.(check bool) "round-robin touches every shard" true
+        (List.for_all (fun n -> n >= 1) served))
+
 let suite =
   ( "serve",
     [
@@ -312,4 +457,10 @@ let suite =
       Alcotest.test_case "e2e: per-request deadline" `Quick test_e2e_deadline;
       Alcotest.test_case "e2e: server-default deadline" `Quick test_e2e_default_deadline;
       Alcotest.test_case "e2e: clean shutdown" `Quick test_e2e_shutdown;
+      Alcotest.test_case "admission watermarks and backlog defaults" `Quick
+        test_tier_thresholds;
+      Alcotest.test_case "e2e: graded back-pressure ladder" `Quick test_e2e_tier_ladder;
+      Alcotest.test_case "e2e: pipelined batch keeps response order" `Quick
+        test_e2e_pipelined_batch_order;
+      Alcotest.test_case "e2e: multi-shard round-robin" `Quick test_e2e_multi_shard;
     ] )
