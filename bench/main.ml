@@ -17,6 +17,12 @@
      main.exe --selection-timeout S   per-benchmark budget for the --perf
                               MCR-greedy selection sweep (default 120 s)
      main.exe --serve         ee_synthd cold/warm latency (writes BENCH_serve.json)
+     main.exe --chaos         supervised ee_fleet under SIGKILL/corruption load
+                              (merges a "chaos" section into BENCH_serve.json;
+                              exits non-zero on any wrong or dropped reply, a
+                              served-not-quarantined corrupt tier entry, and —
+                              on multi-core machines — an availability or
+                              recovery-time gate miss)
      main.exe --fast          fewer vectors (CI-friendly)
      main.exe --csv           also print Table 3 as CSV *)
 
@@ -1027,6 +1033,447 @@ let print_serve ~clients () =
   if not gate_enforced then
     Printf.printf "(single-core machine: p99/starvation gates recorded but not enforced)\n"
 
+(* Chaos: a real supervised fleet (bin/ee_fleet spawned fork+exec — safe
+   with live domains, unlike a bare fork) takes closed-loop load through
+   the failover client while the conductor SIGKILLs children mid-run,
+   then a tier entry is truncated and the restarted child must quarantine
+   it instead of serving it.  Correctness gates (zero wrong replies, zero
+   unaccounted requests, quarantine observed, clean drain) are always
+   enforced; the availability floor and recovery bound only on >=2-core
+   machines, like the other serve gates.  Merges a "chaos" section into
+   BENCH_serve.json. *)
+
+type chaos_load = {
+  ch_sent : int;
+  ch_ok : int;
+  ch_wrong : (string * string) list;  (* bench, offending response line *)
+  ch_errs : (string * int) list;  (* structured error code -> count *)
+  ch_failed : (string * int) list;  (* Fleet_client.Failed kind -> count *)
+  ch_lat : float list;
+}
+
+type chaos_outcome =
+  | Chaos_load of chaos_load
+  | Chaos_kills of (int * int * float) list  (* slot, old pid, recovery_s (nan = never) *)
+
+let print_chaos () =
+  section "Chaos: supervised ee_fleet under SIGKILL + tier-corruption load";
+  let module Client = Ee_serve.Client in
+  let module Fleet_client = Ee_serve.Fleet_client in
+  let module Json = Ee_export.Json in
+  let exe =
+    match Sys.getenv_opt "EE_FLEET_EXE" with
+    | Some p -> p
+    | None ->
+        let guess =
+          Filename.concat (Filename.dirname Sys.executable_name) "../bin/ee_fleet.exe"
+        in
+        if Sys.file_exists guess then guess else "ee_fleet"
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ee_chaos_%d" (Unix.getpid ()))
+  in
+  let mkdir d = try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> () in
+  mkdir dir;
+  let tier = Filename.concat dir "tier" in
+  mkdir tier;
+  let prefix = Filename.concat dir "s" in
+  let ep slot : Ee_serve.Server.address = `Unix (Printf.sprintf "%s.%d" prefix slot) in
+  let fleet_log = Filename.concat dir "fleet.log" in
+  let log_fd = Unix.openfile fleet_log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let backoff_base = 0.3 in
+  let fleet_pid =
+    Unix.create_process exe
+      [|
+        exe; "-n"; "2"; "--socket"; prefix; "--tier"; tier; "--jobs"; "1";
+        "--backoff-base"; string_of_float backoff_base; "--probe-interval"; "0.5";
+        "--grace"; "5";
+      |]
+      Unix.stdin Unix.stdout log_fd
+  in
+  Unix.close log_fd;
+  Printf.printf "fleet: %s -n 2 --tier %s (supervisor pid %d, log %s)\n" exe tier
+    fleet_pid fleet_log;
+  let health_of addr =
+    match Client.connect ~recv_timeout_s:2. addr with
+    | exception _ -> None
+    | c ->
+        let r =
+          match Client.request_line c "{\"cmd\":\"health\"}" with
+          | line -> (
+              match Json.parse line with
+              | Ok j when Json.member "status" j = Some (Json.String "ok") ->
+                  Json.member "result" j
+              | _ -> None)
+          | exception _ -> None
+        in
+        Client.close c;
+        r
+  in
+  let pid_of addr = Option.bind (health_of addr) (fun h -> Option.bind (Json.member "pid" h) Json.to_int) in
+  let quarantined_of addr =
+    Option.bind (health_of addr) (fun h ->
+        Option.bind (Json.member "cache" h) (fun c ->
+            Option.bind (Json.member "quarantined" c) Json.to_int))
+  in
+  (* Wait for both children to come up. *)
+  List.iter
+    (fun slot ->
+      let c = Client.connect ~retries:100 ~recv_timeout_s:5. (ep slot) in
+      ignore (Client.request_line c "{\"cmd\":\"ping\"}");
+      Client.close c)
+    [ 0; 1 ];
+  let benches = [ "b01"; "b02"; "b03" ] in
+  let synth_line id =
+    Printf.sprintf "{\"cmd\":\"synth\",\"bench\":%S,\"vectors\":%d,\"seed\":%d}" id
+      !vectors seed
+  in
+  let result_of line =
+    match Json.parse line with
+    | Ok j when Json.member "status" j = Some (Json.String "ok") ->
+        Option.map Json.to_string (Json.member "result" j)
+    | _ -> None
+  in
+  (* Warm-up: compute the expected payload per bench on child 0 and check
+     child 1 independently agrees (synthesis is deterministic; child 1
+     may serve it from the shared tier child 0 just wrote). *)
+  let expected =
+    let c0 = Client.connect ~retries:10 ~recv_timeout_s:120. (ep 0) in
+    let c1 = Client.connect ~retries:10 ~recv_timeout_s:120. (ep 1) in
+    let exp =
+      List.map
+        (fun id ->
+          let r0 = result_of (Client.request_line c0 (synth_line id)) in
+          let r1 = result_of (Client.request_line c1 (synth_line id)) in
+          match (r0, r1) with
+          | Some a, Some b when a = b -> (id, a)
+          | Some a, Some b ->
+              Printf.printf "FAIL: children disagree on %s:\n  %s\n  %s\n" id a b;
+              exit 1
+          | _ ->
+              Printf.printf "FAIL: warm-up request for %s failed\n" id;
+              exit 1)
+        benches
+    in
+    Client.close c0;
+    Client.close c1;
+    exp
+  in
+  Printf.printf "warm-up: %d benches agree across both children\n" (List.length expected);
+  let load_s = if !vectors <= 25 then 6.0 else 10.0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. load_s in
+  let sleep_until t =
+    let d = t -. Unix.gettimeofday () in
+    if d > 0. then Unix.sleepf d
+  in
+  (* The conductor: SIGKILL one child at 25% and the other at 55% of the
+     load window, then measure how long until a *new* pid answers health
+     on that endpoint. *)
+  let conduct () =
+    List.map
+      (fun (frac, slot) ->
+        sleep_until (t0 +. (frac *. load_s));
+        match pid_of (ep slot) with
+        | None -> (slot, -1, Float.nan)
+        | Some pid ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            let tk = Unix.gettimeofday () in
+            let deadline = tk +. 10. in
+            let rec poll () =
+              if Unix.gettimeofday () > deadline then Float.nan
+              else
+                match pid_of (ep slot) with
+                | Some pid' when pid' <> pid -> Unix.gettimeofday () -. tk
+                | _ ->
+                    Unix.sleepf 0.05;
+                    poll ()
+            in
+            (slot, pid, poll ()))
+      [ (0.25, 0); (0.55, 1) ]
+  in
+  (* A load driver: closed-loop requests through the failover client.
+     Every request ends as exactly one of ok / wrong / structured error /
+     Failed — a silently dropped reply would show up as unaccounted. *)
+  let run_load k =
+    let policy =
+      {
+        Fleet_client.default_policy with
+        Fleet_client.max_attempts = 8;
+        base_backoff_s = 0.05;
+        max_backoff_s = 0.5;
+        recv_timeout_s = Some 10.;
+      }
+    in
+    let fc = Fleet_client.create ~policy ~seed:(1000 + k) [ ep (k mod 2); ep ((k + 1) mod 2) ] in
+    let sent = ref 0 and ok = ref 0 in
+    let wrong = ref [] and lat = ref [] in
+    let errs = Hashtbl.create 8 and failed = Hashtbl.create 8 in
+    let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    let i = ref 0 in
+    while Unix.gettimeofday () < t_end do
+      let bench = List.nth benches (!i mod 3) in
+      incr i;
+      incr sent;
+      let t_s = Unix.gettimeofday () in
+      (match Fleet_client.request_line fc (synth_line bench) with
+      | line -> (
+          lat := ((Unix.gettimeofday () -. t_s) *. 1000.) :: !lat;
+          match result_of line with
+          | Some r when r = List.assoc bench expected -> incr ok
+          | Some _ -> wrong := (bench, line) :: !wrong
+          | None -> (
+              match extract_error line with
+              | Some code -> bump errs code
+              | None -> bump errs "unparseable"))
+      | exception Fleet_client.Failed f ->
+          bump failed
+            (match f with
+            | Fleet_client.Rejected { code; _ } -> "rejected:" ^ code
+            | Fleet_client.Unavailable _ -> "unavailable")
+      | exception e -> bump failed (Printexc.to_string e))
+    done;
+    Fleet_client.close fc;
+    {
+      ch_sent = !sent;
+      ch_ok = !ok;
+      ch_wrong = !wrong;
+      ch_errs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) errs [];
+      ch_failed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) failed [];
+      ch_lat = !lat;
+    }
+  in
+  let outcomes =
+    Ee_util.Pool.run ~domains:3
+      (fun k -> if k = 0 then Chaos_kills (conduct ()) else Chaos_load (run_load k))
+      [ 0; 1; 2 ]
+  in
+  let kills =
+    List.concat_map (function Chaos_kills l -> l | Chaos_load _ -> []) outcomes
+  in
+  let loads =
+    List.filter_map (function Chaos_load l -> Some l | Chaos_kills _ -> None) outcomes
+  in
+  let sum f = List.fold_left (fun a l -> a + f l) 0 loads in
+  let sent = sum (fun l -> l.ch_sent) and ok = sum (fun l -> l.ch_ok) in
+  let wrong = List.concat_map (fun l -> l.ch_wrong) loads in
+  let merge_counts field =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (field l))
+      loads;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let errs = merge_counts (fun l -> l.ch_errs) in
+  let failed = merge_counts (fun l -> l.ch_failed) in
+  let err_total = List.fold_left (fun a (_, n) -> a + n) 0 errs in
+  let failed_total = List.fold_left (fun a (_, n) -> a + n) 0 failed in
+  let unaccounted = sent - (ok + List.length wrong + err_total + failed_total) in
+  let lat_all = Array.of_list (List.concat_map (fun l -> l.ch_lat) loads) in
+  let pct a q = if Array.length a = 0 then 0. else Ee_util.Stats.percentile a q in
+  let availability =
+    if sent = 0 then 0. else float_of_int ok /. float_of_int sent
+  in
+  Printf.printf
+    "load: %.1f s, %d sent, %d ok (%.2f%% availability), %d wrong, %d errors, %d failed, %d unaccounted\n"
+    load_s sent ok (100. *. availability) (List.length wrong) err_total failed_total
+    unaccounted;
+  Printf.printf "  latency p50/p99: %.2f / %.2f ms\n" (pct lat_all 50.) (pct lat_all 99.);
+  List.iter (fun (c, n) -> Printf.printf "  error %-18s %d\n" c n) errs;
+  List.iter (fun (c, n) -> Printf.printf "  failed %-17s %d\n" c n) failed;
+  List.iter
+    (fun (slot, pid, rec_s) ->
+      if Float.is_nan rec_s then
+        Printf.printf "kill: child %d (pid %d) NOT recovered within 10 s\n" slot pid
+      else Printf.printf "kill: child %d (pid %d) recovered in %.2f s\n" slot pid rec_s)
+    kills;
+  (* Corruption: truncate one tier entry, SIGKILL child 0 so its restart
+     preloads the tier, then the corrupt entry must be quarantined — and
+     every bench must still answer correctly. *)
+  let is_hex s =
+    String.length s = 32
+    && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+  in
+  let entries =
+    Sys.readdir tier |> Array.to_list |> List.filter is_hex |> List.sort compare
+  in
+  let corrupted =
+    match entries with
+    | [] -> None
+    | name :: _ ->
+        let path = Filename.concat tier name in
+        let size = (Unix.stat path).Unix.st_size in
+        Unix.truncate path (size - (size / 3));
+        Printf.printf "corruption: truncated %s (%d -> %d bytes)\n" name size
+          (size - (size / 3));
+        Some name
+  in
+  let recovery3 =
+    match pid_of (ep 0) with
+    | None -> Float.nan
+    | Some pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        let tk = Unix.gettimeofday () in
+        let deadline = tk +. 10. in
+        let rec poll () =
+          if Unix.gettimeofday () > deadline then Float.nan
+          else
+            match pid_of (ep 0) with
+            | Some pid' when pid' <> pid -> Unix.gettimeofday () -. tk
+            | _ ->
+                Unix.sleepf 0.05;
+                poll ()
+        in
+        poll ()
+  in
+  let quarantined = Option.value ~default:0 (quarantined_of (ep 0)) in
+  let post_wrong =
+    let c = Client.connect ~retries:10 ~recv_timeout_s:120. (ep 0) in
+    let bad =
+      List.filter
+        (fun (id, exp) ->
+          match result_of (Client.request_line c (synth_line id)) with
+          | Some r -> r <> exp
+          | None -> true)
+        expected
+    in
+    Client.close c;
+    List.map fst bad
+  in
+  Printf.printf
+    "corruption: child 0 restarted in %.2f s, quarantined %d entries, %d wrong post-restart replies\n"
+    recovery3 quarantined (List.length post_wrong);
+  (* Drain the fleet and wait for a clean supervisor exit. *)
+  (try Unix.kill fleet_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let clean_exit =
+    let deadline = Unix.gettimeofday () +. 15. in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] fleet_pid with
+      | 0, _ ->
+          if Unix.gettimeofday () > deadline then false
+          else begin
+            Unix.sleepf 0.05;
+            wait ()
+          end
+      | _, Unix.WEXITED 0 -> true
+      | _, _ -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    wait ()
+  in
+  Printf.printf "drain: supervisor exit %s\n" (if clean_exit then "clean" else "DIRTY");
+  let cores = Domain.recommended_domain_count () in
+  let gate_enforced = cores >= 2 in
+  let availability_floor = 0.95 in
+  let recovery_bound_s = 5.0 in
+  let recoveries = List.map (fun (_, _, r) -> r) kills @ [ recovery3 ] in
+  let recovered_ok =
+    List.for_all (fun r -> not (Float.is_nan r) && r <= recovery_bound_s) recoveries
+  in
+  let kill_json =
+    Json.List
+      (List.map
+         (fun (slot, pid, rec_s) ->
+           Json.Obj
+             [
+               ("slot", Json.Int slot);
+               ("pid", Json.Int pid);
+               ( "recovery_s",
+                 if Float.is_nan rec_s then Json.Null else Json.Float rec_s );
+             ])
+         kills)
+  in
+  let chaos_json =
+    Json.Obj
+      [
+        ("children", Json.Int 2);
+        ("vectors", Json.Int !vectors);
+        ("seed", Json.Int seed);
+        ("cores", Json.Int cores);
+        ("gate_enforced", Json.Bool gate_enforced);
+        ("load_s", Json.Float load_s);
+        ("backoff_base_s", Json.Float backoff_base);
+        ("sent", Json.Int sent);
+        ("ok", Json.Int ok);
+        ("wrong", Json.Int (List.length wrong));
+        ("unaccounted", Json.Int unaccounted);
+        ("errors", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) errs));
+        ("failed", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) failed));
+        ("availability", Json.Float availability);
+        ("availability_floor", Json.Float availability_floor);
+        ( "latency_ms",
+          if Array.length lat_all = 0 then Json.Null
+          else
+            Json.Obj
+              [
+                ("n", Json.Int (Array.length lat_all));
+                ("p50", Json.Float (pct lat_all 50.));
+                ("p99", Json.Float (pct lat_all 99.));
+              ] );
+        ("kills", kill_json);
+        ("recovery_bound_s", Json.Float recovery_bound_s);
+        ( "corruption",
+          Json.Obj
+            [
+              ( "entry",
+                match corrupted with Some n -> Json.String n | None -> Json.Null );
+              ( "restart_recovery_s",
+                if Float.is_nan recovery3 then Json.Null else Json.Float recovery3 );
+              ("quarantined", Json.Int quarantined);
+              ("wrong_after_restart", Json.Int (List.length post_wrong));
+            ] );
+        ("clean_exit", Json.Bool clean_exit);
+      ]
+  in
+  let merged =
+    let existing =
+      match In_channel.with_open_text "BENCH_serve.json" In_channel.input_all with
+      | text -> (match Json.parse text with Ok j -> Some j | Error _ -> None)
+      | exception Sys_error _ -> None
+    in
+    match existing with
+    | Some (Json.Obj fields) ->
+        Json.Obj
+          (List.filter (fun (k, _) -> k <> "chaos") fields @ [ ("chaos", chaos_json) ])
+    | _ -> Json.Obj [ ("chaos", chaos_json) ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string merged);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json chaos section\n";
+  let fail msg =
+    Printf.printf "FAIL: %s\n" msg;
+    exit 1
+  in
+  List.iter
+    (fun (bench, line) -> Printf.printf "  wrong reply for %s: %s\n" bench line)
+    wrong;
+  if wrong <> [] then fail "wrong replies under chaos load";
+  if post_wrong <> [] then
+    fail
+      (Printf.sprintf "wrong replies after corruption restart (%s)"
+         (String.concat ", " post_wrong));
+  if unaccounted <> 0 then
+    fail (Printf.sprintf "%d requests silently dropped" unaccounted);
+  if corrupted <> None && quarantined < 1 then
+    fail "corrupt tier entry was not quarantined";
+  if not clean_exit then fail "supervisor did not drain cleanly on SIGTERM";
+  if gate_enforced then begin
+    if availability < availability_floor then
+      fail
+        (Printf.sprintf "availability %.4f below floor %.2f" availability
+           availability_floor);
+    if not recovered_ok then fail "a killed child did not recover within the bound"
+  end
+  else
+    Printf.printf
+      "(single-core machine: availability/recovery gates recorded but not enforced)\n"
+
 (* Fault-injection campaigns: sweep the standard fault list over a few
    benchmarks and check that nothing silently mis-computes under the
    adversarial delay schedules.  The dangerous class is wrong-output; the
@@ -1125,7 +1572,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve"; "--chaos";
           ])
       args
   in
@@ -1175,6 +1622,7 @@ let () =
     print_engine ?domains:engine_domains ();
     print_perf ~selection_timeout ();
     print_serve ~clients:serve_clients ();
+    print_chaos ();
     print_faults ();
     print_sweep ();
     print_ablation_cost ();
@@ -1201,6 +1649,7 @@ let () =
     if has "--engine" then print_engine ?domains:engine_domains ();
     if has "--perf" then print_perf ~selection_timeout ();
     if has "--serve" then print_serve ~clients:serve_clients ();
+    if has "--chaos" then print_chaos ();
     if has "--faults" then print_faults ();
     if has "--sweep" then print_sweep ();
     if has "--ablation-cost" then print_ablation_cost ();

@@ -407,7 +407,7 @@ let client_cmd =
     [
       `S Manpage.s_description;
       `P
-        "COMMAND is one of synth, perf, faults, stats, ping, shutdown, or raw. \
+        "COMMAND is one of synth, perf, faults, stats, health, ping, shutdown, or raw. \
          'raw' sends $(b,--json) verbatim. synth/perf/faults accept the usual \
          spec knobs; the response is one JSON line on stdout (exit 1 if its \
          status is \"error\").";
@@ -464,6 +464,7 @@ let client_cmd =
                   (fun b -> Protocol.Faults { bench = b; spec; waves = Option.value waves ~default:16 })
                   (Option.to_result ~none:"faults needs --bench" bench)
             | "stats" -> Ok Protocol.Stats
+            | "health" -> Ok Protocol.Health
             | "ping" -> Ok Protocol.Ping
             | "shutdown" -> Ok Protocol.Shutdown
             | c -> Error (Printf.sprintf "unknown command %S" c)
@@ -499,7 +500,7 @@ let client_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"COMMAND" ~doc:"synth, perf, faults, stats, ping, shutdown, or raw.")
+      & info [] ~docv:"COMMAND" ~doc:"synth, perf, faults, stats, health, ping, shutdown, or raw.")
   in
   let socket_t =
     Arg.(value & opt string "ee_synthd.sock" & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the daemon.")

@@ -19,6 +19,7 @@ type stats = {
   entries : int;
   bytes : int;
   max_bytes : int;
+  quarantined : int;
 }
 
 type t = {
@@ -34,6 +35,7 @@ type t = {
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable quarantined : int;
 }
 
 let key parts =
@@ -55,6 +57,7 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?persist_dir () =
     misses = 0;
     insertions = 0;
     evictions = 0;
+    quarantined = 0;
   }
 
 let locked t f =
@@ -105,17 +108,35 @@ let insert t k v =
    One content-addressed file per key, written to a unique temporary name
    and renamed into place, so two daemon processes sharing the directory
    can insert the same key concurrently without ever exposing a torn
-   value.  An append-only [index] file records one "<key> <bytes>" line
-   per insertion (O_APPEND, one small write per line — atomic on POSIX for
+   value.  Every entry is checksummed: the file starts with a one-line
+   header "eecs1 <md5-of-payload> <payload-bytes>" so a reader can detect
+   truncation (a crash mid-write of the *rename* is impossible, but a
+   crashed writer can leave a short file behind on some filesystems, and
+   operators truncate files) and bit rot.  A corrupt entry is never
+   served: it is moved into a [quarantine/] subdirectory and the lookup
+   proceeds as a miss, so the next computation heals the tier.
+
+   An append-only [index] file records one "<key> <bytes>" line per
+   insertion (O_APPEND, one small write per line — atomic on POSIX for
    lines this short), giving later instances the insertion order for
-   {!preload} and cheap {!tier_stats} without a directory scan. *)
+   {!preload} and cheap {!tier_stats} without a directory scan.  The
+   index is advisory: {!find} reads entry files directly, so a lost or
+   stale index line can only make {!preload} skip an entry, never serve
+   the wrong one.  Rewrites of one key append a line each, so the index
+   grows without bound; {!compact_index} rewrites it (tmp-then-rename)
+   keeping only the newest line per still-existing key, and {!preload}
+   compacts automatically when dead lines dominate. *)
 
 let index_file = "index"
 
+let entry_magic = "eecs1"
+
+let quarantine_dir = "quarantine"
+
 let entry_path dir k = Filename.concat dir k
 
-(* Only content-addressed entries look like hex digests; the index and
-   in-flight temporaries never do. *)
+(* Only content-addressed entries look like hex digests; the index,
+   quarantine directory and in-flight temporaries never do. *)
 let is_entry_name name =
   String.length name = 32
   && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) name
@@ -128,9 +149,58 @@ let index_append dir k size =
   output_string oc (Printf.sprintf "%s %d\n" k size);
   close_out oc
 
+(* Atomic whole-index rewrite; the lines are already formatted. *)
+let index_write dir entries =
+  let tmp = Filename.temp_file ~temp_dir:dir ".tmp-" "" in
+  let oc = open_out_bin tmp in
+  List.iter (fun (k, size) -> output_string oc (Printf.sprintf "%s %d\n" k size)) entries;
+  close_out oc;
+  Sys.rename tmp (Filename.concat dir index_file)
+
+(* Entry file verification.  [`Corrupt] covers every way the payload can
+   fail to match its header: missing header (including pre-checksum legacy
+   files), short payload (truncation), digest mismatch. *)
+let read_entry dir k =
+  match open_in_bin (entry_path dir k) with
+  | exception Sys_error _ -> `Missing
+  | ic ->
+      let verdict =
+        match input_line ic with
+        | exception End_of_file -> `Corrupt "empty file"
+        | header -> (
+            match String.split_on_char ' ' header with
+            | [ magic; digest; size ] when magic = entry_magic -> (
+                match int_of_string_opt size with
+                | None -> `Corrupt "bad size field"
+                | Some n when n < 0 -> `Corrupt "bad size field"
+                | Some n -> (
+                    match really_input_string ic n with
+                    | exception End_of_file -> `Corrupt "truncated payload"
+                    | v ->
+                        if Digest.to_hex (Digest.string v) = digest then `Ok v
+                        else `Corrupt "checksum mismatch"))
+            | _ -> `Corrupt "bad header")
+      in
+      close_in ic;
+      verdict
+
+(* Move a corrupt entry out of the serving namespace.  Racing processes
+   quarantining the same file: one rename wins, the other's fails — both
+   outcomes leave the entry unservable, which is all that matters. *)
+let quarantine_entry dir k =
+  let qdir = Filename.concat dir quarantine_dir in
+  (try if not (Sys.file_exists qdir) then Sys.mkdir qdir 0o755 with Sys_error _ -> ());
+  let rec dest n =
+    let candidate =
+      Filename.concat qdir (if n = 0 then k else Printf.sprintf "%s.%d" k n)
+    in
+    if Sys.file_exists candidate then dest (n + 1) else candidate
+  in
+  try Sys.rename (entry_path dir k) (dest 0) with Sys_error _ -> ()
+
 (* (key, bytes) pairs in insertion order (oldest first), duplicates kept.
-   Falls back to a directory scan — healing the index — for tiers written
-   before the index existed. *)
+   Falls back to a verifying directory scan — healing the index — for
+   tiers whose index was lost; the healed index is written compacted. *)
 let index_read dir =
   let from_index () =
     let ic = open_in_bin (Filename.concat dir index_file) in
@@ -158,37 +228,57 @@ let index_read dir =
       Array.to_list (Sys.readdir dir)
       |> List.filter is_entry_name
       |> List.filter_map (fun k ->
-             match open_in_bin (entry_path dir k) with
-             | ic ->
-                 let size = in_channel_length ic in
-                 close_in ic;
-                 Some (k, size)
-             | exception Sys_error _ -> None)
+             match read_entry dir k with
+             | `Ok v -> Some (k, String.length v)
+             | `Corrupt _ ->
+                 quarantine_entry dir k;
+                 None
+             | `Missing -> None)
     in
-    List.iter (fun (k, size) -> index_append dir k size) scanned;
+    index_write dir scanned;
     scanned
   end
+
+(* Newest line per key whose entry file still exists, back in oldest-first
+   order.  Returns (kept, dropped-line-count). *)
+let compacted_entries dir =
+  let all = index_read dir in
+  let seen = Hashtbl.create 256 in
+  let kept_rev =
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          Sys.file_exists (entry_path dir k)
+        end)
+      (List.rev all)
+  in
+  (List.rev kept_rev, List.length all - List.length kept_rev)
 
 let persist dir k v =
   (* [temp_file] picks a fresh name atomically even across processes; the
      ".tmp-" prefix keeps it out of {!is_entry_name}'s namespace. *)
   let tmp = Filename.temp_file ~temp_dir:dir ".tmp-" "" in
   let oc = open_out_bin tmp in
+  output_string oc
+    (Printf.sprintf "%s %s %d\n" entry_magic
+       (Digest.to_hex (Digest.string v))
+       (String.length v));
   output_string oc v;
   close_out oc;
   Sys.rename tmp (entry_path dir k);
   index_append dir k (String.length v)
 
-let read_disk dir k =
-  let path = entry_path dir k in
-  if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let v = really_input_string ic len in
-    close_in ic;
-    Some v
-  end
-  else None
+(* Caller holds the lock (for the [quarantined] counter). *)
+let read_disk t dir k =
+  match read_entry dir k with
+  | `Ok v -> Some v
+  | `Missing -> None
+  | `Corrupt _ ->
+      quarantine_entry dir k;
+      t.quarantined <- t.quarantined + 1;
+      None
 
 (* ---- public API ---- *)
 
@@ -201,7 +291,7 @@ let find t k =
           push_front t node;
           Some node.n_value
       | None -> (
-          match Option.bind t.persist_dir (fun dir -> read_disk dir k) with
+          match Option.bind t.persist_dir (fun dir -> read_disk t dir k) with
           | Some v ->
               t.disk_hits <- t.disk_hits + 1;
               insert t k v;
@@ -227,6 +317,7 @@ let stats t =
         entries = Hashtbl.length t.table;
         bytes = t.bytes;
         max_bytes = t.max_bytes;
+        quarantined = t.quarantined;
       })
 
 let clear t =
@@ -253,12 +344,34 @@ let tier_stats t =
         { tier_entries = 0; tier_bytes = 0 })
     t.persist_dir
 
+let compact_index t =
+  match t.persist_dir with
+  | None -> 0
+  | Some dir ->
+      locked t (fun () ->
+          let kept, dropped = compacted_entries dir in
+          if dropped > 0 then index_write dir kept;
+          dropped)
+
+(* Dead index lines "dominate" once they outnumber the live ones (with a
+   small floor so a tier of three entries is not rewritten constantly). *)
+let auto_compact dir entries =
+  let distinct = Hashtbl.create 256 in
+  List.iter (fun (k, _) -> Hashtbl.replace distinct k ()) entries;
+  let dead = List.length entries - Hashtbl.length distinct in
+  if dead > Hashtbl.length distinct && dead >= 8 then begin
+    let kept, dropped = compacted_entries dir in
+    if dropped > 0 then index_write dir kept
+  end
+
 let preload ?limit t =
   match t.persist_dir with
   | None -> 0
   | Some dir ->
       (* Newest-first unique keys, truncated to [limit], then inserted
          oldest-first so the newest entry ends up most-recently-used. *)
+      let all = index_read dir in
+      auto_compact dir all;
       let seen = Hashtbl.create 256 in
       let newest_first =
         List.filter
@@ -268,7 +381,7 @@ let preload ?limit t =
               Hashtbl.add seen k ();
               true
             end)
-          (List.rev_map fst (index_read dir))
+          (List.rev_map fst all)
       in
       let chosen =
         match limit with
@@ -280,7 +393,7 @@ let preload ?limit t =
           List.iter
             (fun k ->
               if not (Hashtbl.mem t.table k) then
-                match read_disk dir k with
+                match read_disk t dir k with
                 | Some v ->
                     insert t k v;
                     incr loaded

@@ -16,13 +16,26 @@
     {!stats.disk_hits} and re-populate the in-memory tier.
 
     The directory is a {e cross-instance} tier: several [Cache.t] values —
-    in one process or in two daemon processes on the same host — may share
-    one [persist_dir].  Writers never expose torn values (unique temp file
-    + atomic rename; concurrent writers of the same key race benignly, the
-    content is identical by construction), and an append-only [index] file
-    records insertion order so {!preload} and {!tier_stats} avoid
-    directory scans.  A tier written before the index existed is healed by
-    scanning once. *)
+    in one process or in several daemon processes on the same host — may
+    share one [persist_dir].  Writers never expose torn values (unique
+    temp file + atomic rename; concurrent writers of the same key race
+    benignly, the content is identical by construction), and an
+    append-only [index] file records insertion order so {!preload} and
+    {!tier_stats} avoid directory scans.  A tier whose index was lost is
+    healed by scanning once (writing a fresh compacted index).
+
+    Every entry file carries a checksum header (md5 + payload size),
+    verified on every disk read — {!find} fallbacks, {!preload}, and the
+    healing rescan alike.  An entry that fails verification (truncated by
+    a crash mid-write, manually corrupted, or written by a pre-checksum
+    version) is {e quarantined}: moved into a [quarantine/] subdirectory,
+    counted in {!stats.quarantined}, and the lookup proceeds as a miss so
+    the next computation rewrites it.  A corrupt entry is never served.
+
+    The index is advisory — {!find} reads entry files directly — so a
+    stale or lost index line can make {!preload} skip an entry but never
+    serve a wrong one.  Rewriting a key appends a new line each time;
+    {!compact_index} bounds that growth. *)
 
 type t
 
@@ -35,6 +48,8 @@ type stats = {
   entries : int;  (** Current in-memory entry count. *)
   bytes : int;  (** Current in-memory payload bytes (keys + values). *)
   max_bytes : int;
+  quarantined : int;
+      (** Corrupt tier entries this instance moved to [quarantine/]. *)
 }
 
 val create : ?max_bytes:int -> ?persist_dir:string -> unit -> t
@@ -73,4 +88,16 @@ val preload : ?limit:int -> t -> int
 (** Load tier entries into the in-memory LRU, newest insertions first,
     stopping after [limit] entries (default: all).  Returns the number
     loaded.  Preloaded entries count as neither hits nor insertions; the
-    newest entry ends up most recently used. *)
+    newest entry ends up most recently used.  Every entry is
+    checksum-verified; corrupt ones are quarantined and skipped.  When
+    dead index lines dominate the live ones the index is compacted as a
+    side effect. *)
+
+val compact_index : t -> int
+(** Rewrite the tier index (unique temp file, then atomic rename),
+    keeping only the newest line per key whose entry file still exists.
+    Returns the number of dead lines dropped ([0] without [persist_dir]).
+    Safe against concurrent readers (they see either index); a line
+    appended by a concurrent {e writer} during the rewrite can be lost,
+    which at worst makes a later {!preload} skip that entry — {!find}
+    still serves it from its file. *)

@@ -1,6 +1,12 @@
 module Json = Ee_export.Json
 
-type t = { fd : Unix.file_descr; ic : in_channel }
+exception Timeout
+
+type t = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  mutable recv_timeout_s : float option;
+}
 
 let sockaddr = function
   | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -11,7 +17,7 @@ let sockaddr = function
       in
       (Unix.PF_INET, Unix.ADDR_INET (addr, port))
 
-let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
+let connect ?(retries = 0) ?(retry_delay_s = 0.1) ?recv_timeout_s address =
   let domain, addr = sockaddr address in
   let rec attempt left =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
@@ -22,7 +28,7 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
             (* Pipelined single-line requests lose to Nagle otherwise. *)
             try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
         | `Unix _ -> ());
-        { fd; ic = Unix.in_channel_of_descr fd }
+        { fd; inbuf = ""; recv_timeout_s }
     | exception Unix.Unix_error _ when left > 0 ->
         Unix.close fd;
         Unix.sleepf retry_delay_s;
@@ -33,6 +39,8 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.1) address =
   in
   attempt retries
 
+let set_recv_timeout t s = t.recv_timeout_s <- s
+
 let send_line t line =
   let data = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length data in
@@ -41,7 +49,38 @@ let send_line t line =
     off := !off + Unix.write t.fd data !off (len - !off)
   done
 
-let recv_line t = input_line t.ic
+let recv_line t =
+  (* One deadline per line, not per read: a server trickling bytes cannot
+     stretch the wait past [recv_timeout_s]. *)
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) t.recv_timeout_s in
+  let buf = Bytes.create 65536 in
+  let rec take () =
+    match String.index_opt t.inbuf '\n' with
+    | Some i ->
+        let line = String.sub t.inbuf 0 i in
+        t.inbuf <- String.sub t.inbuf (i + 1) (String.length t.inbuf - i - 1);
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+    | None ->
+        (match deadline with
+        | Some d -> (
+            let left = d -. Unix.gettimeofday () in
+            if left <= 0. then raise Timeout;
+            match Unix.select [ t.fd ] [] [] left with
+            | [], _, _ -> raise Timeout
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | None -> ());
+        (match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> raise End_of_file
+        | n -> t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ());
+        take ()
+  in
+  take ()
 
 let request_line t line =
   send_line t line;

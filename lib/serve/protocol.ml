@@ -6,6 +6,7 @@ type request =
   | Perf of { bench : string; spec : Engine.spec; waves : int }
   | Faults of { bench : string; spec : Engine.spec; waves : int }
   | Stats
+  | Health
   | Ping
   | Sleep of float
   | Shutdown
@@ -21,6 +22,7 @@ let cmd_name = function
   | Perf _ -> "perf"
   | Faults _ -> "faults"
   | Stats -> "stats"
+  | Health -> "health"
   | Ping -> "ping"
   | Sleep _ -> "sleep"
   | Shutdown -> "shutdown"
@@ -136,6 +138,7 @@ let request_of_json j =
       let* waves = field_int j "waves" in
       Ok (Faults { bench; spec; waves = Option.value waves ~default:16 })
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "ping" -> Ok Ping
   | "sleep" ->
       let* s = field_float j "seconds" in
@@ -194,7 +197,7 @@ let envelope_to_json env =
         [ ("bench", Json.String bench); ("waves", Json.Int waves) ] @ spec_fields spec
     | Faults { bench; spec; waves } ->
         [ ("bench", Json.String bench); ("waves", Json.Int waves) ] @ spec_fields spec
-    | Stats | Ping | Shutdown -> []
+    | Stats | Health | Ping | Shutdown -> []
     | Sleep s -> [ ("seconds", Json.Float s) ]
   in
   Json.Obj (base @ id @ deadline @ body)

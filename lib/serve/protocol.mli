@@ -13,6 +13,7 @@
     {"cmd":"perf","bench":"b01","waves":240}
     {"cmd":"faults","bench":"b01","waves":16}
     {"cmd":"stats"}
+    {"cmd":"health"}
     {"cmd":"ping"}
     {"cmd":"sleep","seconds":0.5}
     {"cmd":"shutdown"}
@@ -26,7 +27,12 @@
     netlist either from ["bench"] (an ITC99 id) or from ["blif"] (inline
     BLIF text, parsed with {!Ee_export.Blif.parse}).  [sleep] occupies a
     worker for the given time — a debugging aid for exercising deadlines
-    and admission control without burning CPU.
+    and admission control without burning CPU.  [health] is the liveness
+    probe used by the [ee_fleet] supervisor: answered inline by the event
+    loop (never queued behind compute work) with a compact snapshot —
+    pid, uptime, per-shard queue depth, pool backlog, cache counters —
+    so a wedged worker pool still answers it while a wedged event loop
+    does not.
 
     {2 Responses}
 
@@ -54,6 +60,7 @@ type request =
   | Perf of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
   | Faults of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
   | Stats
+  | Health
   | Ping
   | Sleep of float
   | Shutdown

@@ -207,7 +207,8 @@ let probe_key (req : Protocol.request) =
         (fun blif -> bench_key ~cmd:"faults" ~blif ~spec [ string_of_int waves ])
         (memoized bench)
   | Protocol.Synth { source = `Blif _; _ }
-  | Protocol.Stats | Protocol.Ping | Protocol.Sleep _ | Protocol.Shutdown ->
+  | Protocol.Stats | Protocol.Health | Protocol.Ping | Protocol.Sleep _
+  | Protocol.Shutdown ->
       None
 
 let with_trace trace ~bench name f =
@@ -216,7 +217,7 @@ let with_trace trace ~bench name f =
 (* Returns (result payload, served-from-cache). *)
 let compute ~trace ~cache (req : Protocol.request) =
   match req with
-  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+  | Protocol.Stats | Protocol.Health | Protocol.Ping | Protocol.Shutdown ->
       invalid_arg "Server.compute: inline command" (* handled by the event loop *)
   | Protocol.Sleep s ->
       with_trace trace ~bench:"" "sleep" (fun () ->
@@ -259,7 +260,7 @@ let compute ~trace ~cache (req : Protocol.request) =
 let cacheable_req = function
   | Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ -> true
   | Protocol.Sleep _ -> false
-  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown -> false
+  | Protocol.Stats | Protocol.Health | Protocol.Ping | Protocol.Shutdown -> false
 
 (* -------------------------------------------------------------------- *)
 (* Metrics (shared across shards and workers; one small mutex)          *)
@@ -358,6 +359,7 @@ type shard = {
   incoming_lock : Mutex.t;
   mutable incoming : Unix.file_descr list;
   handled : int Atomic.t;  (* responses written, for balance accounting *)
+  depth : int Atomic.t;  (* admitted requests queued or running on this shard *)
 }
 
 let wake sh =
@@ -466,6 +468,7 @@ let metrics_json m ~inflight ~cfg ~cache ~shards =
                  ("entries", Json.Int cs.Cache.entries);
                  ("bytes", Json.Int cs.Cache.bytes);
                  ("max_bytes", Json.Int cs.Cache.max_bytes);
+                 ("quarantined", Json.Int cs.Cache.quarantined);
                  ("hit_rate", hit_rate);
                ]
               @
@@ -477,6 +480,35 @@ let metrics_json m ~inflight ~cfg ~cache ~shards =
                   ]
               | None -> []) );
         ])
+
+(* The supervisor's liveness probe: a compact snapshot answered inline by
+   the event loop.  A wedged worker pool still answers (depth grows, a
+   signal in itself); a wedged event loop does not, which is exactly what
+   the heartbeat should detect. *)
+let health_json m ~inflight ~cfg ~cache ~shards =
+  let cs = Cache.stats cache in
+  let depths =
+    Array.to_list (Array.map (fun sh -> Json.Int (Atomic.get sh.depth)) shards)
+  in
+  Json.Obj
+    [
+      ("pid", Json.Int (Unix.getpid ()));
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. m.started));
+      ("inflight", Json.Int inflight);
+      ("queue_limit", Json.Int cfg.max_pending);
+      ("shard_depth", Json.List depths);
+      ("shards", shards_json shards);
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Int cs.Cache.entries);
+            ("bytes", Json.Int cs.Cache.bytes);
+            ("hits", Json.Int cs.Cache.hits);
+            ("disk_hits", Json.Int cs.Cache.disk_hits);
+            ("misses", Json.Int cs.Cache.misses);
+            ("quarantined", Json.Int cs.Cache.quarantined);
+          ] );
+    ]
 
 (* -------------------------------------------------------------------- *)
 (* Per-shard event loop                                                 *)
@@ -581,6 +613,12 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
                 (Protocol.ok_response ~id ~cmd ~cached:false
                    ~elapsed_ms:((now () -. t0) *. 1000.)
                    (metrics_json metrics ~inflight:(Atomic.get inflight) ~cfg ~cache
+                      ~shards))
+          | Protocol.Health ->
+              answer ~cmd ~outcome:`Ok
+                (Protocol.ok_response ~id ~cmd ~cached:false
+                   ~elapsed_ms:((now () -. t0) *. 1000.)
+                   (health_json metrics ~inflight:(Atomic.get inflight) ~cfg ~cache
                       ~shards))
           | Protocol.Ping ->
               answer ~cmd ~outcome:`Ok
@@ -703,6 +741,7 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
         | Answer { resp; cmd; outcome; t0 } ->
             Queue.add (Ready { line = resp; cmd; outcome; t0 }) conn.queue
         | Admit a ->
+            Atomic.incr sh.depth;
             Queue.add
               (Running { slot = slots.(!k); cmd = a.cmd; id = a.id; t0 = a.t0; deadline = a.deadline })
               conn.queue;
@@ -761,6 +800,7 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
           match Atomic.get slot with
           | Some (Ok (payload, cached)) ->
               ignore (Queue.pop conn.queue);
+              Atomic.decr sh.depth;
               respond conn
                 (Protocol.ok_response ~id ~cmd ~cached
                    ~elapsed_ms:((now () -. t0) *. 1000.)
@@ -768,11 +808,13 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
               record metrics ~cmd ~outcome:`Ok ~lat_ms:((now () -. t0) *. 1000.)
           | Some (Error (Reject (code, msg))) ->
               ignore (Queue.pop conn.queue);
+              Atomic.decr sh.depth;
               respond conn (Protocol.error_response ~id ~cmd ~code msg);
               record metrics ~cmd ~outcome:(`Error code)
                 ~lat_ms:((now () -. t0) *. 1000.)
           | Some (Error e) ->
               ignore (Queue.pop conn.queue);
+              Atomic.decr sh.depth;
               respond conn
                 (Protocol.error_response ~id ~cmd ~code:"internal"
                    (Printexc.to_string e));
@@ -782,6 +824,7 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
               match deadline with
               | Some d when now () >= d ->
                   ignore (Queue.pop conn.queue);
+                  Atomic.decr sh.depth;
                   respond conn
                     (Protocol.error_response ~id ~cmd ~code:"deadline_exceeded"
                        (Printf.sprintf
@@ -798,6 +841,7 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
     Queue.iter
       (function
         | Running { cmd; id; _ } ->
+            Atomic.decr sh.depth;
             respond conn
               (Protocol.error_response ~id ~cmd ~code:"shutting_down"
                  "server stopped before the computation finished")
@@ -841,6 +885,9 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
         (fun c ->
           if c.alive then true
           else begin
+            Queue.iter
+              (function Running _ -> Atomic.decr sh.depth | Ready _ -> ())
+              c.queue;
             (try Unix.close c.fd with Unix.Unix_error _ -> ());
             false
           end)
@@ -935,6 +982,7 @@ let serve ?cache ?stop cfg =
           incoming_lock = Mutex.create ();
           incoming = [];
           handled = Atomic.make 0;
+          depth = Atomic.make 0;
         })
   in
   cfg.log

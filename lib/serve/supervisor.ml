@@ -1,0 +1,205 @@
+module Backoff = struct
+  type t = {
+    base_s : float;
+    cap_s : float;
+    stable_s : float;
+    mutable streak : int;
+  }
+
+  let create ?(base_s = 0.5) ?(cap_s = 30.) ?(stable_s = 10.) () =
+    if base_s <= 0. then invalid_arg "Supervisor.Backoff.create: base_s <= 0";
+    if cap_s < base_s then invalid_arg "Supervisor.Backoff.create: cap_s < base_s";
+    if stable_s < 0. then invalid_arg "Supervisor.Backoff.create: stable_s < 0";
+    { base_s; cap_s; stable_s; streak = 0 }
+
+  let streak t = t.streak
+
+  let next t ~uptime =
+    if uptime >= t.stable_s then t.streak <- 0;
+    t.streak <- t.streak + 1;
+    Float.min t.cap_s (t.base_s *. Float.pow 2. (float_of_int (t.streak - 1)))
+end
+
+type ops = {
+  spawn : int -> int;
+  kill : pid:int -> signal:int -> unit;
+  reap : unit -> (int * Unix.process_status) option;
+  probe : int -> bool;
+  now : unit -> float;
+  sleep : float -> unit;
+  log : string -> unit;
+}
+
+type config = {
+  children : int;
+  tick_s : float;
+  probe_interval_s : float;
+  probe_misses : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  stable_s : float;
+  grace_s : float;
+}
+
+let default_config =
+  {
+    children = 2;
+    tick_s = 0.2;
+    probe_interval_s = 1.0;
+    probe_misses = 3;
+    backoff_base_s = 0.5;
+    backoff_cap_s = 30.;
+    stable_s = 10.;
+    grace_s = 5.;
+  }
+
+type event =
+  | Spawned of { slot : int; pid : int }
+  | Exited of { slot : int; pid : int; uptime_s : float }
+  | Wedged of { slot : int; pid : int; misses : int }
+  | Restart_scheduled of { slot : int; delay_s : float }
+  | Draining
+  | Stopped
+
+type stats = { spawns : int; restarts : int; wedge_kills : int }
+
+type slot_state =
+  | Down of { restart_at : float }
+  | Up of {
+      pid : int;
+      since : float;
+      mutable misses : int;
+      mutable next_probe : float;
+    }
+
+let run ?(on_event = fun (_ : event) -> ()) cfg ops ~stop =
+  let n = max 1 cfg.children in
+  let backoffs =
+    Array.init n (fun _ ->
+        Backoff.create ~base_s:cfg.backoff_base_s ~cap_s:cfg.backoff_cap_s
+          ~stable_s:cfg.stable_s ())
+  in
+  (* restart_at = now: every slot is due immediately on entry. *)
+  let slots = Array.make n (Down { restart_at = ops.now () }) in
+  let spawns = ref 0 in
+  let wedge_kills = ref 0 in
+  let draining = ref false in
+  let slot_of_pid pid =
+    let found = ref None in
+    Array.iteri
+      (fun i -> function Up u when u.pid = pid -> found := Some i | _ -> ())
+      slots;
+    !found
+  in
+  let start slot =
+    let pid = ops.spawn slot in
+    incr spawns;
+    slots.(slot) <-
+      Up
+        {
+          pid;
+          since = ops.now ();
+          misses = 0;
+          next_probe = ops.now () +. cfg.probe_interval_s;
+        };
+    ops.log (Printf.sprintf "child %d up (pid %d)" slot pid);
+    on_event (Spawned { slot; pid })
+  in
+  (* Collect every already-exited child.  Outside a drain each exit
+     schedules a restart after the slot's backoff delay; the streak
+     resets once a child survived [stable_s], so a long-lived child that
+     finally crashes restarts promptly while a crash loop backs off. *)
+  let reap_all () =
+    let rec go () =
+      match ops.reap () with
+      | None -> ()
+      | Some (pid, _status) ->
+          (match slot_of_pid pid with
+          | None -> ()  (* not ours (or already replaced); ignore *)
+          | Some slot -> (
+              match slots.(slot) with
+              | Down _ -> ()
+              | Up { since; _ } ->
+                  let uptime = ops.now () -. since in
+                  on_event (Exited { slot; pid; uptime_s = uptime });
+                  if !draining then
+                    slots.(slot) <- Down { restart_at = Float.infinity }
+                  else begin
+                    let delay = Backoff.next backoffs.(slot) ~uptime in
+                    ops.log
+                      (Printf.sprintf
+                         "child %d (pid %d) exited after %.1fs; restart in %.2fs"
+                         slot pid uptime delay);
+                    slots.(slot) <- Down { restart_at = ops.now () +. delay };
+                    on_event (Restart_scheduled { slot; delay_s = delay })
+                  end));
+          go ()
+    in
+    go ()
+  in
+  let probe_due () =
+    Array.iteri
+      (fun slot -> function
+        | Down _ -> ()
+        | Up u ->
+            if ops.now () >= u.next_probe then begin
+              u.next_probe <- ops.now () +. cfg.probe_interval_s;
+              if ops.probe slot then u.misses <- 0
+              else begin
+                u.misses <- u.misses + 1;
+                if u.misses >= cfg.probe_misses then begin
+                  incr wedge_kills;
+                  ops.log
+                    (Printf.sprintf
+                       "child %d (pid %d) failed %d probes; killing" slot u.pid
+                       u.misses);
+                  on_event (Wedged { slot; pid = u.pid; misses = u.misses });
+                  (* The exit is reaped like a crash, so the restart goes
+                     through the same backoff schedule. *)
+                  ops.kill ~pid:u.pid ~signal:Sys.sigkill
+                end
+              end
+            end)
+      slots
+  in
+  let start_due () =
+    Array.iteri
+      (fun slot -> function
+        | Down { restart_at } when ops.now () >= restart_at -> start slot
+        | _ -> ())
+      slots
+  in
+  while not (Atomic.get stop) do
+    reap_all ();
+    probe_due ();
+    start_due ();
+    if not (Atomic.get stop) then ops.sleep cfg.tick_s
+  done;
+  (* Graceful drain: SIGTERM everyone, give them [grace_s] to flush and
+     exit, SIGKILL stragglers. *)
+  draining := true;
+  on_event Draining;
+  ops.log "draining fleet";
+  Array.iter
+    (function Up { pid; _ } -> ops.kill ~pid ~signal:Sys.sigterm | Down _ -> ())
+    slots;
+  let deadline = ops.now () +. cfg.grace_s in
+  let killed = ref false in
+  let alive () = Array.exists (function Up _ -> true | Down _ -> false) slots in
+  while alive () do
+    reap_all ();
+    if alive () then
+      if ops.now () >= deadline && not !killed then begin
+        killed := true;
+        Array.iter
+          (function
+            | Up { pid; _ } ->
+                ops.log (Printf.sprintf "pid %d ignored SIGTERM; killing" pid);
+                ops.kill ~pid ~signal:Sys.sigkill
+            | Down _ -> ())
+          slots
+      end
+      else ops.sleep cfg.tick_s
+  done;
+  on_event Stopped;
+  { spawns = !spawns; restarts = max 0 (!spawns - n); wedge_kills = !wedge_kills }

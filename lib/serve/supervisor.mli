@@ -1,0 +1,85 @@
+(** The fleet supervision loop, separated from the processes it manages.
+
+    Every side effect — spawning a child, delivering a signal, reaping,
+    probing liveness, reading the clock, sleeping — goes through the
+    {!ops} record, so the state machine runs identically against real
+    [Unix] processes ([bin/ee_fleet]) and against a scripted fake clock
+    (the unit tests).
+
+    Per-slot state machine:
+
+    {v
+    Down(restart_at) --due--> Up(pid)
+    Up --exit reaped--> Down(now + backoff)        (backoff doubles per
+    Up --probe_misses failed probes--> SIGKILL      crash, capped; resets
+         (exit then reaped as above)                after a stable run)
+    any --stop flag--> SIGTERM all, grace_s, SIGKILL stragglers
+    v} *)
+
+(** Exponential restart backoff with a stability reset: each {!Backoff.next}
+    doubles the delay ([base_s], [2*base_s], ... capped at [cap_s]),
+    except that a child that stayed up at least [stable_s] resets the
+    streak first — a crash loop backs off, an occasional crash restarts
+    promptly. *)
+module Backoff : sig
+  type t
+
+  val create : ?base_s:float -> ?cap_s:float -> ?stable_s:float -> unit -> t
+  (** Defaults: 0.5 s base, 30 s cap, 10 s stability window.  Raises
+      [Invalid_argument] on a non-positive base, a cap below the base, or
+      a negative stability window. *)
+
+  val next : t -> uptime:float -> float
+  (** The delay before the next restart, given how long the child just
+      stayed up.  Mutates the streak. *)
+
+  val streak : t -> int
+  (** Consecutive unstable restarts so far (0 after a reset). *)
+end
+
+type ops = {
+  spawn : int -> int;  (** Start the child for a slot index; returns its pid. *)
+  kill : pid:int -> signal:int -> unit;
+  reap : unit -> (int * Unix.process_status) option;
+      (** Nonblocking: one exited child, or [None] when none are waiting. *)
+  probe : int -> bool;  (** Liveness probe of a slot; [false] = unhealthy. *)
+  now : unit -> float;
+  sleep : float -> unit;
+  log : string -> unit;
+}
+
+type config = {
+  children : int;  (** Fleet size (slots); clamped to at least 1. *)
+  tick_s : float;  (** Idle loop period — bounds restart/probe latency. *)
+  probe_interval_s : float;
+  probe_misses : int;
+      (** Consecutive failed probes before a child is declared wedged and
+          SIGKILLed (its restart then follows the crash backoff). *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  stable_s : float;  (** Uptime that resets a slot's backoff streak. *)
+  grace_s : float;  (** SIGTERM-to-SIGKILL budget during the drain. *)
+}
+
+val default_config : config
+(** 2 children, 0.2 s tick, 1 s probes with 3 misses, 0.5 s backoff base
+    capped at 30 s, 10 s stability, 5 s drain grace. *)
+
+type event =
+  | Spawned of { slot : int; pid : int }
+  | Exited of { slot : int; pid : int; uptime_s : float }
+  | Wedged of { slot : int; pid : int; misses : int }
+  | Restart_scheduled of { slot : int; delay_s : float }
+  | Draining
+  | Stopped
+
+type stats = {
+  spawns : int;  (** All spawns, initial fleet included. *)
+  restarts : int;  (** Spawns beyond the initial fleet. *)
+  wedge_kills : int;  (** Children SIGKILLed for failing probes. *)
+}
+
+val run : ?on_event:(event -> unit) -> config -> ops -> stop:bool Atomic.t -> stats
+(** Supervise until [stop] is set, then drain and return.  Spawns every
+    slot immediately on entry.  [on_event] observes each transition
+    (called from the supervision thread). *)

@@ -184,6 +184,111 @@ let test_concurrent_access () =
   Alcotest.(check bool) "budget honoured under contention" true
     (s.Cache.bytes <= s.Cache.max_bytes)
 
+(* ---- checksummed tier entries: corruption and quarantine ---- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let index_lines dir =
+  In_channel.with_open_bin (Filename.concat dir "index") (fun ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      !n)
+
+let test_truncated_entry_quarantined () =
+  with_temp_dir (fun dir ->
+      let k = Cache.key [ "fragile" ] in
+      let w = Cache.create ~persist_dir:dir () in
+      Cache.add w ~key:k "a payload long enough that truncation is detectable";
+      (* Chop the tail off the entry file, as a crash mid-write (or an
+         admin with dd) would. *)
+      let path = Filename.concat dir k in
+      let full = read_file path in
+      write_file path (String.sub full 0 (String.length full - 10));
+      (* A second instance over the same tier — as after a restart — must
+         refuse to serve the damaged entry. *)
+      let r = Cache.create ~persist_dir:dir () in
+      Alcotest.(check (option string)) "corrupt entry never served" None (Cache.find r k);
+      Alcotest.(check int) "counted as quarantined" 1 (Cache.stats r).Cache.quarantined;
+      Alcotest.(check bool) "moved out of the serving namespace" false (Sys.file_exists path);
+      Alcotest.(check bool) "kept under quarantine/ for post-mortem" true
+        (Sys.file_exists (Filename.concat (Filename.concat dir "quarantine") k));
+      (* Recomputing heals the tier: the key is servable again. *)
+      Cache.add r ~key:k "recomputed";
+      let r2 = Cache.create ~persist_dir:dir () in
+      Alcotest.(check (option string)) "healed by rewrite" (Some "recomputed") (Cache.find r2 k))
+
+let test_bitflip_entry_quarantined () =
+  with_temp_dir (fun dir ->
+      let k = Cache.key [ "bitrot" ] in
+      let w = Cache.create ~persist_dir:dir () in
+      Cache.add w ~key:k "payload-payload-payload";
+      (* Flip one payload byte.  The size still matches the header, so
+         only the digest can catch this. *)
+      let path = Filename.concat dir k in
+      let full = Bytes.of_string (read_file path) in
+      let pos = Bytes.length full - 3 in
+      Bytes.set full pos (if Bytes.get full pos = 'x' then 'y' else 'x');
+      write_file path (Bytes.to_string full);
+      let r = Cache.create ~persist_dir:dir () in
+      Alcotest.(check (option string)) "flipped byte detected" None (Cache.find r k);
+      Alcotest.(check int) "quarantined" 1 (Cache.stats r).Cache.quarantined)
+
+let test_preload_quarantines_corrupt () =
+  with_temp_dir (fun dir ->
+      let w = Cache.create ~persist_dir:dir () in
+      let keys = List.init 3 (fun i -> Cache.key [ "pre"; string_of_int i ]) in
+      List.iteri (fun i k -> Cache.add w ~key:k (Printf.sprintf "value-%d" i)) keys;
+      let victim = List.nth keys 1 in
+      write_file (Filename.concat dir victim) "eecs1 ";
+      let r = Cache.create ~persist_dir:dir () in
+      Alcotest.(check int) "only intact entries preloaded" 2 (Cache.preload r);
+      Alcotest.(check int) "corrupt entry quarantined during preload" 1
+        (Cache.stats r).Cache.quarantined;
+      Alcotest.(check (option string)) "intact entry warm" (Some "value-0")
+        (Cache.find r (List.nth keys 0));
+      Alcotest.(check (option string)) "victim is a plain miss" None (Cache.find r victim))
+
+let test_compact_index () =
+  with_temp_dir (fun dir ->
+      let c = Cache.create ~persist_dir:dir () in
+      let hot = Cache.key [ "rewritten" ] and cold = Cache.key [ "stable" ] in
+      Cache.add c ~key:cold "once";
+      for i = 1 to 5 do
+        Cache.add c ~key:hot (Printf.sprintf "v%d" i)
+      done;
+      (* The index is append-only: five rewrites left five lines. *)
+      Alcotest.(check int) "appends accumulate" 6 (index_lines dir);
+      Alcotest.(check int) "dead lines dropped" 4 (Cache.compact_index c);
+      Alcotest.(check int) "one line per live key" 2 (index_lines dir);
+      (* Compaction kept the newest write of the rewritten key. *)
+      let r = Cache.create ~persist_dir:dir () in
+      ignore (Cache.preload r);
+      Alcotest.(check (option string)) "newest value survives" (Some "v5") (Cache.find r hot);
+      Alcotest.(check (option string)) "singleton untouched" (Some "once") (Cache.find r cold);
+      Alcotest.(check int) "nothing left to drop" 0 (Cache.compact_index c))
+
+let test_preload_auto_compacts () =
+  with_temp_dir (fun dir ->
+      let c = Cache.create ~persist_dir:dir () in
+      let k = Cache.key [ "hot" ] in
+      (* Ten generations of one key: nine dead index lines, enough to
+         trip the automatic compaction threshold at preload time. *)
+      for i = 1 to 10 do
+        Cache.add c ~key:k (Printf.sprintf "gen-%d" i)
+      done;
+      Alcotest.(check int) "ten lines before" 10 (index_lines dir);
+      let r = Cache.create ~persist_dir:dir () in
+      Alcotest.(check int) "one distinct entry loaded" 1 (Cache.preload r);
+      Alcotest.(check int) "index compacted as a side effect" 1 (index_lines dir);
+      Alcotest.(check (option string)) "latest generation served" (Some "gen-10")
+        (Cache.find r k))
+
 let suite =
   ( "cache",
     [
@@ -197,4 +302,13 @@ let suite =
       Alcotest.test_case "index healing after deletion" `Quick test_index_healing;
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "concurrent domains" `Quick test_concurrent_access;
+      Alcotest.test_case "truncated tier entry quarantined" `Quick
+        test_truncated_entry_quarantined;
+      Alcotest.test_case "checksum mismatch quarantined" `Quick
+        test_bitflip_entry_quarantined;
+      Alcotest.test_case "preload quarantines corrupt entries" `Quick
+        test_preload_quarantines_corrupt;
+      Alcotest.test_case "index compaction" `Quick test_compact_index;
+      Alcotest.test_case "preload auto-compacts a bloated index" `Quick
+        test_preload_auto_compacts;
     ] )

@@ -6,6 +6,8 @@ module Json = Ee_export.Json
 module Protocol = Ee_serve.Protocol
 module Server = Ee_serve.Server
 module Client = Ee_serve.Client
+module Fleet_client = Ee_serve.Fleet_client
+module Supervisor = Ee_serve.Supervisor
 module Engine = Ee_engine.Engine
 
 (* ---------------- Json codec ---------------- *)
@@ -441,6 +443,418 @@ let test_e2e_multi_shard () =
       Alcotest.(check bool) "round-robin touches every shard" true
         (List.for_all (fun n -> n >= 1) served))
 
+(* ---------------- Client receive timeout ---------------- *)
+
+let test_client_recv_timeout () =
+  with_server ~domains:1 (fun sock ->
+      let c = Client.connect ~retries:100 ~recv_timeout_s:0.3 (`Unix sock) in
+      Client.send_line c "{\"cmd\":\"sleep\",\"seconds\":5}";
+      let t0 = Unix.gettimeofday () in
+      (match Client.recv_line c with
+      | line -> Alcotest.failf "expected Timeout, got %s" line
+      | exception Client.Timeout -> ());
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "raised near the deadline, not the sleep" true (elapsed < 2.);
+      Client.close c;
+      (* The server is unharmed; a patient connection still gets served. *)
+      check_status (send sock "{\"cmd\":\"ping\"}") "ok")
+
+(* ---------------- Health ---------------- *)
+
+let test_e2e_health () =
+  with_server ~shards:2 (fun sock ->
+      check_status (send sock "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5}") "ok";
+      let h = send sock "{\"cmd\":\"health\",\"id\":\"h1\"}" in
+      check_status h "ok";
+      Alcotest.(check (option string)) "id echoed" (Some "h1")
+        (Option.bind (Json.member "id" h) Json.to_string_opt);
+      Alcotest.(check (option int)) "reports its own pid" (Some (Unix.getpid ()))
+        (Option.bind (get h [ "result"; "pid" ]) Json.to_int);
+      Alcotest.(check bool) "uptime is a non-negative float" true
+        (match Option.bind (get h [ "result"; "uptime_s" ]) Json.to_float with
+        | Some u -> u >= 0.
+        | None -> false);
+      Alcotest.(check bool) "inflight within the queue limit" true
+        (match
+           ( Option.bind (get h [ "result"; "inflight" ]) Json.to_int,
+             Option.bind (get h [ "result"; "queue_limit" ]) Json.to_int )
+         with
+        | Some i, Some q -> i >= 0 && i <= q
+        | _ -> false);
+      (match get h [ "result"; "shard_depth" ] with
+      | Some (Json.List l) ->
+          Alcotest.(check int) "one depth per shard" 2 (List.length l);
+          Alcotest.(check bool) "idle depths are zero" true
+            (List.for_all (fun j -> Json.to_int j = Some 0) l)
+      | _ -> Alcotest.fail "shard_depth missing");
+      Alcotest.(check (option int)) "cache quarantine counter exposed" (Some 0)
+        (Option.bind (get h [ "result"; "cache"; "quarantined" ]) Json.to_int);
+      Alcotest.(check bool) "cache entries counted" true
+        (match Option.bind (get h [ "result"; "cache"; "entries" ]) Json.to_int with
+        | Some n -> n >= 1
+        | None -> false))
+
+(* ---------------- Fleet client ---------------- *)
+
+(* A scripted endpoint: accepts one connection and answers each request
+   line with the next canned response, then hangs up.  Lets the retry
+   policy be exercised without a real overloaded server. *)
+let with_canned_server responses f =
+  incr sock_counter;
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ee_canned_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX sock);
+  Unix.listen srv 8;
+  let d =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept srv in
+        let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+        (try
+           List.iter
+             (fun resp ->
+               ignore (input_line ic);
+               output_string oc (resp ^ "\n");
+               flush oc)
+             responses
+         with End_of_file | Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join d;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f sock)
+
+let test_fleet_retry_exhaustion () =
+  (* Every attempt is rejected: the budget runs out and the caller still
+     sees the last structured rejection verbatim, plus one backoff sleep
+     between attempts (never after the last). *)
+  let reject = {|{"status":"error","error":"overloaded","retry_after_s":0.05}|} in
+  with_canned_server [ reject; reject; reject ] (fun sock ->
+      let sleeps = ref [] in
+      let policy =
+        {
+          Fleet_client.default_policy with
+          Fleet_client.max_attempts = 3;
+          base_backoff_s = 0.001;
+          max_backoff_s = 1.0;
+          jitter = 0.25;
+          recv_timeout_s = Some 5.;
+        }
+      in
+      let fc =
+        Fleet_client.create ~policy ~seed:7
+          ~sleep:(fun s -> sleeps := s :: !sleeps)
+          [ `Unix sock ]
+      in
+      (match Fleet_client.request_line fc "{\"cmd\":\"ping\"}" with
+      | line -> Alcotest.failf "expected Failed, got %s" line
+      | exception Fleet_client.Failed (Fleet_client.Rejected { code; attempts; line }) ->
+          Alcotest.(check string) "last rejection code" "overloaded" code;
+          Alcotest.(check int) "attempt budget spent" 3 attempts;
+          Alcotest.(check string) "last server line verbatim" reject line
+      | exception Fleet_client.Failed f ->
+          Alcotest.failf "wrong failure: %s" (Fleet_client.failure_to_string f));
+      (* The exponential (1-2 ms) is far below the 50 ms hint, so the
+         hint floors both delays exactly. *)
+      Alcotest.(check (list (float 1e-9))) "two sleeps, both floored by the hint"
+        [ 0.05; 0.05 ] !sleeps;
+      Fleet_client.close fc)
+
+let test_fleet_retry_then_success () =
+  let reject = {|{"status":"error","error":"throttled","retry_after_s":0.02}|} in
+  let ok = {|{"status":"ok","result":{}}|} in
+  with_canned_server [ reject; ok ] (fun sock ->
+      let sleeps = ref [] in
+      let policy =
+        {
+          Fleet_client.default_policy with
+          Fleet_client.max_attempts = 5;
+          base_backoff_s = 0.001;
+          max_backoff_s = 1.0;
+        }
+      in
+      let fc =
+        Fleet_client.create ~policy ~seed:3
+          ~sleep:(fun s -> sleeps := s :: !sleeps)
+          [ `Unix sock ]
+      in
+      Alcotest.(check string) "served after one retry" ok
+        (Fleet_client.request_line fc "{\"cmd\":\"ping\"}");
+      Alcotest.(check (list (float 1e-9))) "one sleep, floored by the hint" [ 0.02 ]
+        !sleeps;
+      Fleet_client.close fc)
+
+let test_backoff_delay () =
+  let p =
+    {
+      Fleet_client.default_policy with
+      Fleet_client.base_backoff_s = 0.1;
+      max_backoff_s = 1.0;
+      jitter = 0.25;
+    }
+  in
+  (* No hint: exponential doubling, jittered downward by at most 25 %. *)
+  List.iter
+    (fun attempt ->
+      let expd = Float.min 1.0 (0.1 *. Float.pow 2. (float_of_int (attempt - 1))) in
+      let hi = Fleet_client.backoff_delay p ~attempt ~hint:None ~u:0. in
+      let lo = Fleet_client.backoff_delay p ~attempt ~hint:None ~u:0.9999 in
+      Alcotest.(check (float 1e-9)) "u=0 gives the full exponential" expd hi;
+      Alcotest.(check bool) "jitter shaves at most 25%" true
+        (lo >= (expd *. 0.75) -. 1e-9 && lo <= expd))
+    [ 1; 2; 3; 4; 5; 6; 7 ];
+  (* The cap bounds every delay, whatever the attempt number. *)
+  Alcotest.(check (float 1e-9)) "capped" 1.0
+    (Fleet_client.backoff_delay p ~attempt:9 ~hint:None ~u:0.);
+  (* A server hint floors the delay... *)
+  Alcotest.(check (float 1e-9)) "hint floors" 0.7
+    (Fleet_client.backoff_delay p ~attempt:1 ~hint:(Some 0.7) ~u:0.5);
+  (* ...but never past the cap... *)
+  Alcotest.(check (float 1e-9)) "hint still capped" 1.0
+    (Fleet_client.backoff_delay p ~attempt:1 ~hint:(Some 5.) ~u:0.5);
+  (* ...and a hint below our own schedule is ignored. *)
+  Alcotest.(check (float 1e-9)) "small hint ignored" 0.4
+    (Fleet_client.backoff_delay p ~attempt:3 ~hint:(Some 0.01) ~u:0.)
+
+let test_fleet_failover () =
+  (* Two real servers; stop the one the client is talking to and the next
+     request lands on the survivor. *)
+  incr sock_counter;
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ee_fleet_test_%d_%d" (Unix.getpid ()) !sock_counter)
+  in
+  let sock0 = base ^ ".0" and sock1 = base ^ ".1" in
+  let mk sock stop =
+    Domain.spawn (fun () ->
+        Server.serve ~stop
+          {
+            Server.default_config with
+            Server.address = `Unix sock;
+            shards = 1;
+            domains = 1;
+            shutdown_grace_s = 1.;
+          })
+  in
+  let stop0 = Atomic.make false and stop1 = Atomic.make false in
+  let d0 = mk sock0 stop0 and d1 = mk sock1 stop1 in
+  let joined0 = ref false in
+  let join0 () =
+    if not !joined0 then begin
+      joined0 := true;
+      Atomic.set stop0 true;
+      Domain.join d0
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      join0 ();
+      Atomic.set stop1 true;
+      Domain.join d1)
+    (fun () ->
+      (* Wait until both endpoints accept. *)
+      List.iter
+        (fun s -> Client.close (Client.connect ~retries:100 (`Unix s)))
+        [ sock0; sock1 ];
+      let fc = Fleet_client.create ~seed:11 [ `Unix sock0; `Unix sock1 ] in
+      let line = "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5}" in
+      let parse resp =
+        match Json.parse resp with Ok j -> j | Error e -> Alcotest.failf "bad json: %s" e
+      in
+      let r1 = parse (Fleet_client.request_line fc line) in
+      check_status r1 "ok";
+      (* Kill the endpoint the client is connected to. *)
+      join0 ();
+      let r2 = parse (Fleet_client.request_line fc line) in
+      check_status r2 "ok";
+      Alcotest.(check bool) "survivor computes the same result" true
+        (get r1 [ "result"; "ee_gates" ] = get r2 [ "result"; "ee_gates" ]);
+      Fleet_client.close fc)
+
+(* ---------------- Supervisor ---------------- *)
+
+let test_supervisor_backoff () =
+  let b = Supervisor.Backoff.create ~base_s:0.5 ~cap_s:4. ~stable_s:10. () in
+  let next u = Supervisor.Backoff.next b ~uptime:u in
+  Alcotest.(check (float 1e-9)) "first crash" 0.5 (next 1.);
+  Alcotest.(check (float 1e-9)) "doubles" 1.0 (next 1.);
+  Alcotest.(check (float 1e-9)) "doubles again" 2.0 (next 1.);
+  Alcotest.(check (float 1e-9)) "hits the cap" 4.0 (next 1.);
+  Alcotest.(check (float 1e-9)) "stays at the cap" 4.0 (next 1.);
+  Alcotest.(check int) "streak counts crashes" 5 (Supervisor.Backoff.streak b);
+  (* A stable run resets the streak: occasional crashes restart promptly. *)
+  Alcotest.(check (float 1e-9)) "stability resets" 0.5 (next 12.);
+  Alcotest.(check int) "streak reset" 1 (Supervisor.Backoff.streak b);
+  List.iter
+    (fun mk ->
+      match mk () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad parameters accepted")
+    [
+      (fun () -> Supervisor.Backoff.create ~base_s:0. ());
+      (fun () -> Supervisor.Backoff.create ~base_s:1. ~cap_s:0.5 ());
+      (fun () -> Supervisor.Backoff.create ~stable_s:(-1.) ());
+    ]
+
+(* A scripted process world driven by a fake clock: ops.sleep advances
+   time, reap pops a queue the scenario fills, and spawn/kill record what
+   the supervisor did.  The state machine runs unchanged. *)
+type fake_world = {
+  mutable clock : float;
+  exits : (int * Unix.process_status) Queue.t;
+  mutable kills : (int * int) list;  (* (pid, signal), newest first *)
+  mutable events : Supervisor.event list;  (* newest first *)
+}
+
+let fake_world () =
+  { clock = 0.; exits = Queue.create (); kills = []; events = [] }
+
+let fake_ops w ~on_spawn ~on_kill ~probe =
+  {
+    Supervisor.spawn = on_spawn;
+    kill =
+      (fun ~pid ~signal ->
+        w.kills <- (pid, signal) :: w.kills;
+        on_kill ~pid ~signal);
+    reap = (fun () -> if Queue.is_empty w.exits then None else Some (Queue.pop w.exits));
+    probe;
+    now = (fun () -> w.clock);
+    sleep = (fun s -> w.clock <- w.clock +. s);
+    log = ignore;
+  }
+
+let restart_delays w =
+  List.rev
+    (List.filter_map
+       (function Supervisor.Restart_scheduled { delay_s; _ } -> Some delay_s | _ -> None)
+       w.events)
+
+let sup_cfg =
+  {
+    Supervisor.children = 1;
+    tick_s = 0.1;
+    probe_interval_s = 1000.;  (* probes off unless a scenario wants them *)
+    probe_misses = 3;
+    backoff_base_s = 0.5;
+    backoff_cap_s = 30.;
+    stable_s = 10.;
+    grace_s = 5.;
+  }
+
+let test_supervisor_restart_backoff () =
+  (* Two instant crashes (backoff 0.5 then 1.0), a long stable run whose
+     crash resets the streak (0.5 again), then stop. *)
+  let w = fake_world () in
+  let stop = Atomic.make false in
+  let next_pid = ref 99 in
+  let stable_crash = ref None in
+  let spawn _slot =
+    incr next_pid;
+    let pid = !next_pid in
+    (match pid - 99 with
+    | 1 | 2 -> Queue.add (pid, Unix.WEXITED 1) w.exits
+    | 3 -> stable_crash := Some (pid, w.clock +. 11.)
+    | _ -> Atomic.set stop true);
+    pid
+  in
+  let on_kill ~pid ~signal =
+    (* The drain's SIGTERM lands on a well-behaved child. *)
+    if signal = Sys.sigterm then Queue.add (pid, Unix.WSIGNALED Sys.sigterm) w.exits
+  in
+  let ops = fake_ops w ~on_spawn:spawn ~on_kill ~probe:(fun _ -> true) in
+  (* Wrap reap to also fire the delayed crash of the stable child. *)
+  let ops =
+    {
+      ops with
+      Supervisor.reap =
+        (fun () ->
+          (match !stable_crash with
+          | Some (pid, at) when w.clock >= at ->
+              stable_crash := None;
+              Queue.add (pid, Unix.WEXITED 0) w.exits
+          | _ -> ());
+          if Queue.is_empty w.exits then None else Some (Queue.pop w.exits));
+    }
+  in
+  let stats =
+    Supervisor.run ~on_event:(fun e -> w.events <- e :: w.events) sup_cfg ops ~stop
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "crash loop backs off, stable run resets" [ 0.5; 1.0; 0.5 ] (restart_delays w);
+  Alcotest.(check int) "four spawns" 4 stats.Supervisor.spawns;
+  Alcotest.(check int) "three restarts" 3 stats.Supervisor.restarts;
+  Alcotest.(check int) "no wedge kills" 0 stats.Supervisor.wedge_kills;
+  Alcotest.(check bool) "drain SIGTERMed the last child" true
+    (List.mem (103, Sys.sigterm) w.kills)
+
+let test_supervisor_wedge_kill () =
+  (* A child that answers no probe: after probe_misses consecutive
+     failures the supervisor SIGKILLs it and restarts through backoff. *)
+  let w = fake_world () in
+  let stop = Atomic.make false in
+  let healthy = ref false in
+  let next_pid = ref 199 in
+  let spawn _slot =
+    incr next_pid;
+    if !next_pid > 200 then begin
+      (* The replacement probes healthy; end the scenario. *)
+      healthy := true;
+      Atomic.set stop true
+    end;
+    !next_pid
+  in
+  let on_kill ~pid ~signal =
+    if signal = Sys.sigkill || signal = Sys.sigterm then
+      Queue.add (pid, Unix.WSIGNALED signal) w.exits
+  in
+  let cfg = { sup_cfg with Supervisor.probe_interval_s = 1.0; probe_misses = 2 } in
+  let ops = fake_ops w ~on_spawn:spawn ~on_kill ~probe:(fun _ -> !healthy) in
+  let stats =
+    Supervisor.run ~on_event:(fun e -> w.events <- e :: w.events) cfg ops ~stop
+  in
+  Alcotest.(check int) "one wedge kill" 1 stats.Supervisor.wedge_kills;
+  Alcotest.(check int) "wedged child replaced" 2 stats.Supervisor.spawns;
+  Alcotest.(check bool) "SIGKILL delivered to the wedged pid" true
+    (List.mem (200, Sys.sigkill) w.kills);
+  Alcotest.(check bool) "wedged event carries the miss count" true
+    (List.exists
+       (function Supervisor.Wedged { misses; _ } -> misses = 2 | _ -> false)
+       w.events)
+
+let test_supervisor_drain_escalates () =
+  (* A child that ignores SIGTERM: the drain waits out grace_s, then
+     SIGKILLs it.  Total drain time is bounded by the grace budget. *)
+  let w = fake_world () in
+  let stop = Atomic.make false in
+  let spawn _slot =
+    Atomic.set stop true;
+    100
+  in
+  let on_kill ~pid ~signal =
+    (* SIGTERM is ignored; only SIGKILL produces an exit. *)
+    if signal = Sys.sigkill then Queue.add (pid, Unix.WSIGNALED Sys.sigkill) w.exits
+  in
+  let cfg = { sup_cfg with Supervisor.grace_s = 2.0 } in
+  let ops = fake_ops w ~on_spawn:spawn ~on_kill ~probe:(fun _ -> true) in
+  let stats =
+    Supervisor.run ~on_event:(fun e -> w.events <- e :: w.events) cfg ops ~stop
+  in
+  Alcotest.(check bool) "SIGTERM first, then SIGKILL" true
+    (List.rev w.kills = [ (100, Sys.sigterm); (100, Sys.sigkill) ]);
+  Alcotest.(check bool) "escalated only after the grace budget" true (w.clock >= 2.0);
+  Alcotest.(check bool) "drain bounded (grace + slack)" true (w.clock <= 4.0);
+  Alcotest.(check int) "single spawn" 1 stats.Supervisor.spawns;
+  Alcotest.(check bool) "lifecycle events in order" true
+    (match List.rev w.events with
+    | Supervisor.Spawned _ :: rest -> List.mem Supervisor.Draining rest
+    | _ -> false)
+
 let suite =
   ( "serve",
     [
@@ -463,4 +877,21 @@ let suite =
       Alcotest.test_case "e2e: pipelined batch keeps response order" `Quick
         test_e2e_pipelined_batch_order;
       Alcotest.test_case "e2e: multi-shard round-robin" `Quick test_e2e_multi_shard;
+      Alcotest.test_case "client receive timeout" `Quick test_client_recv_timeout;
+      Alcotest.test_case "e2e: health snapshot" `Quick test_e2e_health;
+      Alcotest.test_case "fleet client: retry budget exhaustion" `Quick
+        test_fleet_retry_exhaustion;
+      Alcotest.test_case "fleet client: retry honours the server hint" `Quick
+        test_fleet_retry_then_success;
+      Alcotest.test_case "fleet client: backoff schedule bounds" `Quick test_backoff_delay;
+      Alcotest.test_case "fleet client: failover to a surviving endpoint" `Quick
+        test_fleet_failover;
+      Alcotest.test_case "supervisor: backoff doubling, cap, stability reset" `Quick
+        test_supervisor_backoff;
+      Alcotest.test_case "supervisor: crash-loop restart backoff (fake clock)" `Quick
+        test_supervisor_restart_backoff;
+      Alcotest.test_case "supervisor: wedged child killed and replaced" `Quick
+        test_supervisor_wedge_kill;
+      Alcotest.test_case "supervisor: drain escalates SIGTERM to SIGKILL" `Quick
+        test_supervisor_drain_escalates;
     ] )
