@@ -23,6 +23,13 @@
                               served-not-quarantined corrupt tier entry, and —
                               on multi-core machines — an availability or
                               recovery-time gate miss)
+     main.exe --corpus        arbitrary-netlist frontend sweep: 120 generated
+                              BLIF/AIGER circuits (plus any --corpus-dir files)
+                              through parse -> delay remap -> equivalence proof
+                              -> EE measurement, and the ITC99 delay-vs-techmap
+                              depth gate (writes BENCH_corpus.json; exits
+                              non-zero on any taxonomy or depth-gate failure)
+     main.exe --corpus-dir D  also sweep the .blif/.aag/.aig files in D
      main.exe --fast          fewer vectors (CI-friendly)
      main.exe --csv           also print Table 3 as CSV *)
 
@@ -1504,6 +1511,163 @@ let print_faults () =
     (count (function Ee_fault.Campaign.Audit_unsafe _ -> true | _ -> false))
     (count (( = ) Ee_fault.Campaign.Audit_live))
 
+(* Corpus sweep: push a population of circuits the repo did not generate
+   through the whole import pipeline — parse (BLIF / ASCII AIGER / binary
+   AIGER) -> delay-driven remap -> BDD equivalence proof -> PL mapping ->
+   EE synthesis -> simulation — and record the failure taxonomy, mapping
+   quality and EE-speedup distribution in BENCH_corpus.json.
+
+   Gates (exit 1):
+   - every generated entry must land in the "ok" taxonomy class (a parse,
+     map or equivalence failure on our own output is a bug);
+   - entries loaded from --corpus-dir must never be "not_equivalent" or
+     "map_failed" (foreign files may legitimately fail to parse);
+   - on every ITC99 bench, the [`Delay] cut mapper's depth must not exceed
+     {!Ee_rtl.Techmap}'s (the old mapper), and where checked the two must
+     be formally equivalent. *)
+
+let print_corpus ?dir ~fast () =
+  section "Corpus: arbitrary-netlist frontend sweep (parse -> remap -> EE)";
+  let module C = Ee_frontend.Corpus in
+  let module Netlist = Ee_netlist.Netlist in
+  let n = 120 in
+  let generated = C.generate ~seed ~n in
+  let loaded = match dir with None -> [] | Some d -> C.load_dir d in
+  let counts = Hashtbl.create 8 in
+  let bump c =
+    Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+  in
+  let hard_failures = ref [] in
+  let speedups = ref [] in
+  let mapped_depths = ref [] in
+  let ee_vectors = if fast then 25 else !vectors in
+  let measured = ref 0 in
+  let sweep ~generated_entry entries =
+    List.iter
+      (fun (e : C.entry) ->
+        let o = C.check e in
+        bump (C.outcome_class o);
+        match o with
+        | C.Passed { o_mapped; o_mapped_luts; o_mapped_depth; _ } ->
+            mapped_depths := float_of_int o_mapped_depth :: !mapped_depths;
+            (* EE measurement on the remapped netlist; directory entries can
+               be arbitrarily large, so bound the simulated population. *)
+            if o_mapped_luts <= 400 && Netlist.dff_count o_mapped < 60 then begin
+              let pl = Ee_phased.Pl.of_netlist o_mapped in
+              let pl_ee, _ = Ee_core.Synth.run pl in
+              let base = Ee_sim.Sim.run_random pl ~vectors:ee_vectors ~seed in
+              let ee = Ee_sim.Sim.run_random pl_ee ~vectors:ee_vectors ~seed in
+              incr measured;
+              speedups :=
+                Ee_util.Stats.percent_change ~before:base.Ee_sim.Sim.avg_settle_time
+                  ~after:ee.Ee_sim.Sim.avg_settle_time
+                :: !speedups
+            end
+        | C.Parse_failed msg ->
+            if generated_entry then
+              hard_failures := Printf.sprintf "%s: parse: %s" e.C.e_name msg :: !hard_failures
+            else Printf.printf "  (foreign) %s failed to parse: %s\n" e.C.e_name msg
+        | C.Map_failed msg ->
+            hard_failures := Printf.sprintf "%s: map: %s" e.C.e_name msg :: !hard_failures
+        | C.Not_equivalent msg ->
+            hard_failures :=
+              Printf.sprintf "%s: NOT EQUIVALENT: %s" e.C.e_name msg :: !hard_failures)
+      entries
+  in
+  sweep ~generated_entry:true generated;
+  sweep ~generated_entry:false loaded;
+  let total = List.length generated + List.length loaded in
+  let count c = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+  Printf.printf
+    "%d circuits (%d generated, %d from disk): %d ok, %d parse_failed, %d map_failed, %d \
+     not_equivalent\n"
+    total (List.length generated) (List.length loaded) (count "ok") (count "parse_failed")
+    (count "map_failed") (count "not_equivalent");
+  let pct a p = if Array.length a = 0 then 0. else Ee_util.Stats.percentile a p in
+  let sp = Array.of_list !speedups in
+  let dp = Array.of_list !mapped_depths in
+  Printf.printf
+    "EE speedup over %d simulated circuits (%d vectors): p10 %.1f%%  median %.1f%%  p90 \
+     %.1f%%\n"
+    !measured ee_vectors (pct sp 10.) (pct sp 50.) (pct sp 90.);
+  Printf.printf "mapped depth: median %.0f  max %.0f\n" (pct dp 50.) (pct dp 100.);
+  (* ITC99: the delay-driven cut mapper against the old greedy mapper. *)
+  let itc =
+    List.filter
+      (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+        not (fast && List.mem b.Ee_bench_circuits.Itc99.id [ "b14"; "b15" ]))
+      Ee_bench_circuits.Itc99.all
+  in
+  let t =
+    Ee_util.Table.create
+      ~headers:[ "Benchmark"; "Techmap depth"; "Delay-cut depth"; "LUTs"; "Equiv" ]
+  in
+  let itc_rows =
+    List.map
+      (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+        let id = b.Ee_bench_circuits.Itc99.id in
+        let d = b.Ee_bench_circuits.Itc99.build () in
+        let tm = Ee_rtl.Techmap.run_rtl d in
+        let dl = Ee_rtl.Cutmap.run_rtl ~mode:Ee_rtl.Cutmap.Delay d in
+        let td = Netlist.depth tm and dd = Netlist.depth dl in
+        (* BDD equivalence is exponential in the worst case; prove the small
+           benches, spot-check the processors by depth only. *)
+        let checked = Netlist.lut_count tm <= 300 in
+        let equiv = (not checked) || Ee_netlist.Equiv.is_equivalent tm dl in
+        if dd > td then
+          hard_failures :=
+            Printf.sprintf "%s: delay-cut depth %d > techmap depth %d" id dd td
+            :: !hard_failures;
+        if not equiv then
+          hard_failures :=
+            Printf.sprintf "%s: delay-cut mapping not equivalent to techmap" id
+            :: !hard_failures;
+        Ee_util.Table.add_row t
+          [
+            id;
+            string_of_int td;
+            string_of_int dd;
+            string_of_int (Netlist.lut_count dl);
+            (if not checked then "(depth only)" else if equiv then "proved" else "FAILED");
+          ];
+        Printf.sprintf
+          "    {\"id\": %S, \"techmap_depth\": %d, \"delay_depth\": %d, \"luts\": %d, \
+           \"equiv_checked\": %b}"
+          id td dd (Netlist.lut_count dl) checked)
+      itc
+  in
+  Ee_util.Table.print t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"circuits\": %d,\n\
+      \  \"generated\": %d,\n\
+      \  \"loaded\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"vectors\": %d,\n\
+      \  \"taxonomy\": {\"ok\": %d, \"parse_failed\": %d, \"map_failed\": %d, \
+       \"not_equivalent\": %d},\n\
+      \  \"ee_speedup_percent\": {\"measured\": %d, \"p10\": %.2f, \"p50\": %.2f, \"p90\": \
+       %.2f},\n\
+      \  \"mapped_depth\": {\"p50\": %.1f, \"max\": %.1f},\n\
+      \  \"itc99\": [\n%s\n  ],\n\
+      \  \"hard_failures\": %d\n\
+       }\n"
+      total (List.length generated) (List.length loaded) seed ee_vectors (count "ok")
+      (count "parse_failed") (count "map_failed") (count "not_equivalent") !measured
+      (pct sp 10.) (pct sp 50.) (pct sp 90.) (pct dp 50.) (pct dp 100.)
+      (String.concat ",\n" itc_rows)
+      (List.length !hard_failures)
+  in
+  let oc = open_out "BENCH_corpus.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_corpus.json\n";
+  if !hard_failures <> [] then begin
+    List.iter (fun f -> Printf.printf "FAIL: %s\n" f) !hard_failures;
+    exit 1
+  end
+
 (* Bechamel micro-benchmarks: one Test.make per paper table plus the core
    algorithm kernels. *)
 
@@ -1572,7 +1736,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve"; "--chaos";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve"; "--chaos"; "--corpus";
           ])
       args
   in
@@ -1637,6 +1801,7 @@ let () =
     print_mappers ();
     print_sharing ();
     print_ncl ();
+    print_corpus ~fast:(has "--fast") ();
     micro ()
   end
   else begin
@@ -1664,5 +1829,6 @@ let () =
     if has "--mappers" then print_mappers ();
     if has "--sharing" then print_sharing ();
     if has "--ncl" then print_ncl ();
+    if has "--corpus" then print_corpus ?dir:(find_value "--corpus-dir") ~fast:(has "--fast") ();
     if has "--micro" then micro ()
   end

@@ -6,7 +6,9 @@
    ee_synth inspect b04 [--dot FILE]     netlist/PL statistics and exports
    ee_synth check b04                    marked-graph liveness/safety proof
    ee_synth perf b04 [--selection] ...   analytic throughput (max cycle ratio)
-   ee_synth faults b04 [--json FILE]     fault-injection campaign *)
+   ee_synth faults b04 [--json FILE]     fault-injection campaign
+   ee_synth client import --file f.aig   import an arbitrary BLIF/AIGER netlist
+                                         through a running ee_synthd *)
 
 open Cmdliner
 module Engine = Ee_engine.Engine
@@ -407,14 +409,19 @@ let client_cmd =
     [
       `S Manpage.s_description;
       `P
-        "COMMAND is one of synth, perf, faults, stats, health, ping, shutdown, or raw. \
-         'raw' sends $(b,--json) verbatim. synth/perf/faults accept the usual \
-         spec knobs; the response is one JSON line on stdout (exit 1 if its \
+        "COMMAND is one of synth, import, perf, faults, stats, health, ping, shutdown, \
+         or raw. 'raw' sends $(b,--json) verbatim. synth/import/perf/faults accept the \
+         usual spec knobs; the response is one JSON line on stdout (exit 1 if its \
          status is \"error\").";
+      `P
+        "'import' sends an arbitrary netlist file ($(b,--file), full-dialect BLIF or \
+         ASCII/binary AIGER — binary payloads are base64-coded automatically) through \
+         the frontend: parse, delay-driven LUT4 remap (disable with $(b,--no-remap)), \
+         EE synthesis and simulation.";
     ]
   in
-  let run command socket tcp bench blif waves deadline threshold coverage_only
-      vectors seed selection json =
+  let run command socket tcp bench blif file format_name no_remap waves deadline
+      threshold coverage_only vectors seed selection json =
     let module Client = Ee_serve.Client in
     let module Protocol = Ee_serve.Protocol in
     let address =
@@ -455,6 +462,28 @@ let client_cmd =
           let req =
             match command with
             | "synth" -> Result.map (fun source -> Protocol.Synth { source; spec }) source
+            | "import" -> (
+                match file with
+                | None -> Error "import needs --file NETLIST"
+                | Some path -> (
+                    match In_channel.with_open_bin path In_channel.input_all with
+                    | exception Sys_error m -> Error m
+                    | text -> (
+                        let format =
+                          match format_name with
+                          | None | Some "auto" -> Ok None
+                          | Some s -> (
+                              match Ee_frontend.Frontend.format_of_string s with
+                              | Some f -> Ok (Some f)
+                              | None ->
+                                  Error
+                                    (Printf.sprintf
+                                       "unknown --format %S (auto, blif, aag, aig)" s))
+                        in
+                        match format with
+                        | Error m -> Error m
+                        | Ok format ->
+                            Ok (Protocol.Import { text; format; remap = not no_remap; spec }))))
             | "perf" ->
                 Result.map
                   (fun b -> Protocol.Perf { bench = b; spec; waves = Option.value waves ~default:240 })
@@ -500,7 +529,7 @@ let client_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"COMMAND" ~doc:"synth, perf, faults, stats, health, ping, shutdown, or raw.")
+      & info [] ~docv:"COMMAND" ~doc:"synth, import, perf, faults, stats, health, ping, shutdown, or raw.")
   in
   let socket_t =
     Arg.(value & opt string "ee_synthd.sock" & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the daemon.")
@@ -513,6 +542,15 @@ let client_cmd =
   in
   let blif_t =
     Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE" ~doc:"Send this BLIF file as the synth source.")
+  in
+  let file_t =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"NETLIST" ~doc:"Netlist file for 'import' (BLIF or AIGER, binary allowed).")
+  in
+  let format_t =
+    Arg.(value & opt (some string) None & info [ "format" ] ~docv:"FMT" ~doc:"Import format: auto (default), blif, aag, aig.")
+  in
+  let no_remap_t =
+    Arg.(value & flag & info [ "no-remap" ] ~doc:"Serve the imported netlist as-is instead of delay-remapping it.")
   in
   let waves_t =
     Arg.(value & opt (some int) None & info [ "waves" ] ~docv:"N" ~doc:"Waves for perf/faults.")
@@ -528,7 +566,8 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc ~man)
     Term.(
-      const run $ command_pos $ socket_t $ tcp_t $ bench_t $ blif_t $ waves_t
+      const run $ command_pos $ socket_t $ tcp_t $ bench_t $ blif_t $ file_t
+      $ format_t $ no_remap_t $ waves_t
       $ deadline_t $ threshold_t $ coverage_only_t $ vectors_t $ seed_t
       $ selection_t $ json_t)
 

@@ -525,4 +525,7 @@ let all =
 let find id =
   match List.find_opt (fun b -> b.id = id) all with
   | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Itc99.find: unknown benchmark %S (ids are b01..b15)" id)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Itc99.find: unknown benchmark %S (valid benchmarks: %s)" id
+           (String.concat ", " (List.map (fun b -> b.id) all)))

@@ -7,12 +7,76 @@ exception Parse_error of int * string
 let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
 
 (* -------------------------------------------------------------------- *)
+(* Signal-name escaping                                                 *)
+(* -------------------------------------------------------------------- *)
+
+(* BLIF tokenizes on whitespace and treats a leading '.' as a directive, so
+   a signal name containing a space (or one that *is* a keyword, like
+   ".names") would not survive a round trip.  We percent-encode the
+   offending bytes deterministically: '%' itself is always encoded, so
+   [unescape_name (escape_name s) = s] for every string. *)
+
+let safe_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '_' | '[' | ']' | '.' | '$' | '/' | ':' | '<' | '>' | '-' | '+' | ',' | '('
+  | ')' | '!' | '=' | '@' | '~' | '^' | '{' | '}' | '|' | '?' | '*' | '&' | ';'
+  | '\'' ->
+      true
+  | _ -> false (* space, tab, '#', '%', '\\', '"', controls, non-ASCII *)
+
+let escape_name s =
+  let needs =
+    s = ""
+    || (String.length s > 0 && s.[0] = '.')
+    || String.exists (fun c -> not (safe_char c)) s
+  in
+  if not needs then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iteri
+      (fun i c ->
+        if safe_char c && not (i = 0 && c = '.') then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    (* An empty name must still be a token. *)
+    if s = "" then Buffer.add_string buf "%";
+    Buffer.contents buf
+  end
+
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let unescape_name s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | '%' when !i + 2 < n -> (
+          match (hex_digit s.[!i + 1], hex_digit s.[!i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char buf (Char.chr ((h * 16) + l));
+              i := !i + 2
+          | _ -> Buffer.add_char buf '%')
+      | '%' when n = 1 -> () (* the empty-name marker *)
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Export                                                               *)
 (* -------------------------------------------------------------------- *)
 
 let node_name nl i =
   match Netlist.node nl i with
-  | Netlist.Input name -> name
+  | Netlist.Input name -> escape_name name
   | _ -> Printf.sprintf "n%d" i
 
 (* Cube line with the first column corresponding to fanin 0 (BLIF column
@@ -29,7 +93,9 @@ let cube_line nvars cube value =
 let to_blif ?(model = "netlist") nl =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf ".model %s\n" model);
-  let port_names f = String.concat " " (Array.to_list (Array.map fst (f nl))) in
+  let port_names f =
+    String.concat " " (Array.to_list (Array.map (fun (n, _) -> escape_name n) (f nl)))
+  in
   Buffer.add_string buf (Printf.sprintf ".inputs %s\n" (port_names Netlist.inputs));
   Buffer.add_string buf (Printf.sprintf ".outputs %s\n" (port_names Netlist.outputs));
   for i = 0 to Netlist.node_count nl - 1 do
@@ -59,8 +125,9 @@ let to_blif ?(model = "netlist") nl =
   (* Output aliases where the port name differs from the driver's name. *)
   Array.iter
     (fun (name, id) ->
-      if name <> node_name nl id then begin
-        Buffer.add_string buf (Printf.sprintf ".names %s %s\n" (node_name nl id) name);
+      if escape_name name <> node_name nl id then begin
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n" (node_name nl id) (escape_name name));
         Buffer.add_string buf "1 1\n"
       end)
     (Netlist.outputs nl);
@@ -121,19 +188,20 @@ let of_blif text =
         | ".model" :: _ -> flush_pending ()
         | ".inputs" :: ws ->
             flush_pending ();
-            inputs := !inputs @ ws
+            inputs := !inputs @ List.map unescape_name ws
         | ".outputs" :: ws ->
             flush_pending ();
-            outputs := !outputs @ ws
+            outputs := !outputs @ List.map unescape_name ws
         | ".names" :: ws -> (
             flush_pending ();
-            match List.rev ws with
+            match List.rev (List.map unescape_name ws) with
             | out :: rev_ins ->
                 pending_names :=
                   Some (out, { inputs = List.rev rev_ins; cubes = []; def_line = n })
             | [] -> fail n ".names needs at least an output")
         | ".latch" :: d :: q :: rest ->
             flush_pending ();
+            let d = unescape_name d and q = unescape_name q in
             let init =
               match List.rev rest with
               | last :: _ when last = "1" -> true

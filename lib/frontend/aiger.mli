@@ -1,0 +1,32 @@
+(** AIGER and-inverter-graph import and export.
+
+    Reads both the ASCII ([aag]) and the binary ([aig]) format of the AIGER
+    1.9 family, restricted to the plain [M I L O A] header (the optional
+    bad-state/constraint/justice/fairness sections are rejected): inputs,
+    latches (with optional reset values; an uninitialized latch reads as
+    reset-to-0), outputs and AND gates, plus the symbol table and comment
+    section.  The graph lands on the repo's LUT4 netlist: each AND becomes
+    a LUT with fanin inversions folded into its function, inverted outputs
+    and latch inputs get a folded inverter LUT, and latches map onto the
+    existing {!Ee_netlist.Netlist} register model in declaration order.
+
+    The writers lower LUT netlists back to AND-inverter form through the
+    irredundant {!Ee_logic.Isop} covers (structural hashing, constant
+    folding), emitting a deterministic, spec-conformant file whose symbol
+    table preserves port names — so [of_string (to_binary nl)] is
+    {!Ee_netlist.Equiv}-equivalent to [nl], the property the corpus sweep
+    checks end to end. *)
+
+exception Parse_error of int * string
+(** (line number — 0 inside the binary section, message). *)
+
+val of_string : string -> Ee_netlist.Netlist.t
+(** Dispatches on the [aag]/[aig] magic. *)
+
+val parse : string -> (Ee_netlist.Netlist.t, string) result
+(** {!of_string} with failures captured as messages. *)
+
+val to_ascii : Ee_netlist.Netlist.t -> string
+
+val to_binary : Ee_netlist.Netlist.t -> string
+(** May contain arbitrary bytes (the delta-coded AND section). *)

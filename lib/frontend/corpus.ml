@@ -1,0 +1,216 @@
+module Netlist = Ee_netlist.Netlist
+module Prng = Ee_util.Prng
+module Lut4 = Ee_logic.Lut4
+
+type entry = { e_name : string; e_text : string }
+
+let random_netlist rng ~inputs ~luts ~dffs =
+  let b = Netlist.builder () in
+  let pool = ref [||] in
+  let push id = pool := Array.append !pool [| id |] in
+  for k = 0 to inputs - 1 do
+    push (Netlist.add_input b (Printf.sprintf "x%d" k))
+  done;
+  let dff_ids =
+    Array.init dffs (fun _ ->
+        let id = Netlist.add_dff b ~init:(Prng.bool rng) in
+        push id;
+        id)
+  in
+  for _ = 1 to luts do
+    let k = 1 + Prng.int rng 4 in
+    let fanin = Array.init k (fun _ -> !pool.(Prng.int rng (Array.length !pool))) in
+    push (Netlist.add_lut b (Lut4.random_with_support rng k) fanin)
+  done;
+  Array.iter
+    (fun id -> Netlist.connect_dff b id ~d:!pool.(Prng.int rng (Array.length !pool)))
+    dff_ids;
+  let nouts = 1 + Prng.int rng 4 in
+  for k = 0 to nouts - 1 do
+    (* Bias towards recently-created (deep) signals. *)
+    let n = Array.length !pool in
+    let i = n - 1 - Prng.int rng (max 1 (n / 2)) in
+    Netlist.set_output b (Printf.sprintf "y%d" k) !pool.(i)
+  done;
+  Netlist.finalize b
+
+let random_wide_blif rng =
+  let buf = Buffer.create 1024 in
+  let ninputs = 5 + Prng.int rng 4 in
+  let nlatches = 1 + Prng.int rng 2 in
+  let ngates = 3 + Prng.int rng 5 in
+  let inputs = List.init ninputs (fun k -> Printf.sprintf "a%d" k) in
+  let latch_qs = List.init nlatches (fun k -> Printf.sprintf "q%d" k) in
+  Buffer.add_string buf ".model rand_wide\n";
+  Buffer.add_string buf (".inputs " ^ String.concat " " inputs ^ "\n");
+  (* Signals usable as gate fanins grow as gates are defined; latch outputs
+     are usable from the start (resolution is order-independent). *)
+  let avail = ref (Array.of_list (inputs @ latch_qs)) in
+  let gates = ref [] in
+  for g = 0 to ngates - 1 do
+    let out = Printf.sprintf "g%d" g in
+    let width = min (5 + Prng.int rng 4) (Array.length !avail) in
+    let pool = Array.copy !avail in
+    Prng.shuffle rng pool;
+    let fanin = Array.to_list (Array.sub pool 0 width) in
+    let header = ".names " ^ String.concat " " fanin ^ " " ^ out in
+    (* Exercise '\' continuations on some headers. *)
+    let header =
+      if Prng.bool rng && width > 2 then begin
+        let words = String.split_on_char ' ' header in
+        let cut = 2 + Prng.int rng (List.length words - 2) in
+        String.concat " " (List.filteri (fun i _ -> i < cut) words)
+        ^ " \\\n"
+        ^ String.concat " " (List.filteri (fun i _ -> i >= cut) words)
+      end
+      else header
+    in
+    Buffer.add_string buf header;
+    Buffer.add_char buf '\n';
+    let polarity = if Prng.int rng 4 = 0 then '0' else '1' in
+    let ncubes = 1 + Prng.int rng 6 in
+    for _ = 1 to ncubes do
+      let row =
+        String.init width (fun _ ->
+            match Prng.int rng 3 with 0 -> '0' | 1 -> '1' | _ -> '-')
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %c\n" row polarity)
+    done;
+    gates := out :: !gates;
+    avail := Array.append !avail [| out |]
+  done;
+  List.iteri
+    (fun k q ->
+      let d = !avail.(Prng.int rng (Array.length !avail)) in
+      match Prng.int rng 3 with
+      | 0 -> Buffer.add_string buf (Printf.sprintf ".latch %s %s %d\n" d q (Prng.int rng 2))
+      | 1 -> Buffer.add_string buf (Printf.sprintf ".latch %s %s\n" d q)
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf ".latch %s %s re clk%d %d\n" d q k (Prng.int rng 2)))
+    latch_qs;
+  let outs =
+    match !gates with
+    | g :: rest -> g :: List.filter (fun _ -> Prng.bool rng) (rest @ latch_qs)
+    | [] -> latch_qs
+  in
+  Buffer.add_string buf (".outputs " ^ String.concat " " outs ^ "\n");
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let random_subckt_blif rng =
+  let buf = Buffer.create 1024 in
+  let leaf_in = 2 + Prng.int rng 2 in
+  let ninputs = 3 + Prng.int rng 3 in
+  let ninst = 2 + Prng.int rng 2 in
+  let inputs = List.init ninputs (fun k -> Printf.sprintf "p%d" k) in
+  Buffer.add_string buf ".model top\n";
+  Buffer.add_string buf (".inputs " ^ String.concat " " inputs ^ "\n");
+  let avail = ref (Array.of_list inputs) in
+  let outs = ref [] in
+  for inst = 0 to ninst - 1 do
+    let out = Printf.sprintf "w%d" inst in
+    let binds =
+      List.init leaf_in (fun k ->
+          Printf.sprintf "i%d=%s" k !avail.(Prng.int rng (Array.length !avail)))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf ".subckt leaf %s o=%s\n" (String.concat " " binds) out);
+    avail := Array.append !avail [| out |];
+    outs := out :: !outs
+  done;
+  Buffer.add_string buf (".outputs " ^ String.concat " " !outs ^ "\n");
+  Buffer.add_string buf ".end\n\n.model leaf\n";
+  Buffer.add_string buf
+    (".inputs " ^ String.concat " " (List.init leaf_in (Printf.sprintf "i%d")) ^ "\n");
+  Buffer.add_string buf ".outputs o\n";
+  Buffer.add_string buf
+    (".names " ^ String.concat " " (List.init leaf_in (Printf.sprintf "i%d")) ^ " o\n");
+  let ncubes = 1 + Prng.int rng 3 in
+  let polarity = if Prng.int rng 4 = 0 then '0' else '1' in
+  for _ = 1 to ncubes do
+    let row =
+      String.init leaf_in (fun _ ->
+          match Prng.int rng 3 with 0 -> '0' | 1 -> '1' | _ -> '-')
+    in
+    Buffer.add_string buf (Printf.sprintf "%s %c\n" row polarity)
+  done;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let generate ~seed ~n =
+  let master = Prng.create seed in
+  List.init n (fun i ->
+      let rng = Prng.split master in
+      let small () =
+        random_netlist rng
+          ~inputs:(3 + Prng.int rng 6)
+          ~luts:(5 + Prng.int rng 25)
+          ~dffs:(Prng.int rng 5)
+      in
+      match i mod 5 with
+      | 0 ->
+          {
+            e_name = Printf.sprintf "rand-blif-%03d" i;
+            e_text = Ee_export.Blif.to_blif (small ());
+          }
+      | 1 ->
+          { e_name = Printf.sprintf "rand-aag-%03d" i; e_text = Aiger.to_ascii (small ()) }
+      | 2 ->
+          { e_name = Printf.sprintf "rand-aig-%03d" i; e_text = Aiger.to_binary (small ()) }
+      | 3 -> { e_name = Printf.sprintf "rand-wide-%03d" i; e_text = random_wide_blif rng }
+      | _ ->
+          { e_name = Printf.sprintf "rand-subckt-%03d" i; e_text = random_subckt_blif rng })
+
+let load_dir dir =
+  let wanted name =
+    List.exists (Filename.check_suffix name) [ ".blif"; ".aag"; ".aig" ]
+  in
+  let files = Array.to_list (Sys.readdir dir) in
+  let files = List.sort compare (List.filter wanted files) in
+  List.map
+    (fun name ->
+      let path = Filename.concat dir name in
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      { e_name = name; e_text = text })
+    files
+
+type outcome =
+  | Passed of {
+      o_stats : Frontend.stats;
+      o_mapped : Netlist.t;
+      o_mapped_luts : int;
+      o_mapped_depth : int;
+    }
+  | Parse_failed of string
+  | Map_failed of string
+  | Not_equivalent of string
+
+let check entry =
+  match Frontend.parse entry.e_text with
+  | Error msg -> Parse_failed msg
+  | Ok nl -> (
+      let fmt = Frontend.detect entry.e_text in
+      match Remap.run nl with
+      | exception exn -> Map_failed (Printexc.to_string exn)
+      | mapped -> (
+          match Ee_netlist.Equiv.check nl mapped with
+          | Ee_netlist.Equiv.Equivalent ->
+              Passed
+                {
+                  o_stats = Frontend.stats fmt nl;
+                  o_mapped = mapped;
+                  o_mapped_luts = Netlist.lut_count mapped;
+                  o_mapped_depth = Netlist.depth mapped;
+                }
+          | Ee_netlist.Equiv.Output_mismatch s -> Not_equivalent ("output " ^ s)
+          | Ee_netlist.Equiv.Register_mismatch -> Not_equivalent "registers"
+          | Ee_netlist.Equiv.Port_mismatch s -> Not_equivalent ("port " ^ s)))
+
+let outcome_class = function
+  | Passed _ -> "ok"
+  | Parse_failed _ -> "parse_failed"
+  | Map_failed _ -> "map_failed"
+  | Not_equivalent _ -> "not_equivalent"

@@ -1,0 +1,64 @@
+(** Circuit corpus for exercising the frontend at scale.
+
+    The corpus sweep ([bench --corpus]) needs a steady supply of circuits
+    the repo did not generate through its own RTL elaborator: seeded random
+    LUT4 netlists rendered through every supported format (canonical BLIF,
+    ASCII and binary AIGER), raw wide-SOP BLIF text with the dialect
+    features real tools emit (wide [.names], ['\\'] continuations, OFF-set
+    covers, [.latch] lines, multi-model [.subckt] hierarchies), plus
+    whatever [.blif]/[.aag]/[.aig] files a directory holds.
+
+    Every generated entry is checked by parsing it, re-mapping through
+    {!Remap} and proving {!Ee_netlist.Equiv} equivalence — no golden
+    outputs are needed, the parser and the mapper cross-validate each
+    other. *)
+
+type entry = {
+  e_name : string;  (** Stable identifier, e.g. ["rand-aig-017"]. *)
+  e_text : string;  (** File contents (may be binary AIGER). *)
+}
+
+val random_netlist :
+  Ee_util.Prng.t -> inputs:int -> luts:int -> dffs:int -> Ee_netlist.Netlist.t
+(** Seeded random LUT4 DAG: [inputs] primary inputs, [dffs] registers with
+    random resets, [luts] LUT nodes over random earlier fanins with random
+    functions, a random subset of signals exposed as outputs (at least
+    one), register data inputs drawn from the whole pool. *)
+
+val random_wide_blif : Ee_util.Prng.t -> string
+(** Raw BLIF text with 5–8-input [.names] covers, don't-care columns,
+    both cover polarities, ['\\'] continuations and a couple of latches —
+    the shapes {!Blif_in} must decompose. *)
+
+val random_subckt_blif : Ee_util.Prng.t -> string
+(** Two-level model hierarchy: a top model instantiating a random leaf
+    model several times through [.subckt]. *)
+
+val generate : seed:int -> n:int -> entry list
+(** [n] entries cycling over the five flavors (canonical BLIF, ASCII
+    AIGER, binary AIGER, wide BLIF, subckt BLIF), deterministic in
+    [seed]. *)
+
+val load_dir : string -> entry list
+(** All [.blif]/[.aag]/[.aig] files under a directory (non-recursive,
+    sorted by name).  Raises [Sys_error] when unreadable. *)
+
+(** {1 Per-entry pipeline check} *)
+
+type outcome =
+  | Passed of {
+      o_stats : Frontend.stats;  (** Shape as parsed. *)
+      o_mapped : Ee_netlist.Netlist.t;  (** The {!Remap.run} result. *)
+      o_mapped_luts : int;
+      o_mapped_depth : int;
+    }  (** Parsed, re-mapped, and proven equivalent. *)
+  | Parse_failed of string
+  | Map_failed of string  (** {!Remap} raised. *)
+  | Not_equivalent of string  (** The remap changed the function — a bug. *)
+
+val check : entry -> outcome
+(** Parse → {!Remap.run} → {!Ee_netlist.Equiv.check}. *)
+
+val outcome_class : outcome -> string
+(** Taxonomy bucket: ["ok"], ["parse_failed"], ["map_failed"],
+    ["not_equivalent"]. *)

@@ -1,0 +1,42 @@
+(** Entry point of the arbitrary-netlist frontend: format detection and
+    parsing for circuits the repo did not generate itself.
+
+    Two concrete readers sit behind it — {!Blif_in} for the full BLIF
+    dialect (multi-model, [.subckt] flattening, wide [.names] decomposed
+    into LUT4 networks) and {!Aiger} for ASCII and binary and-inverter
+    graphs.  Both normalize into {!Ee_netlist.Netlist.t}, the format the
+    elaborate → cutmap → PL → EE pipeline already consumes. *)
+
+type format = Blif | Aiger_ascii | Aiger_binary
+
+val format_to_string : format -> string
+(** ["blif"], ["aag"], ["aig"]. *)
+
+val format_of_string : string -> format option
+(** Accepts the {!format_to_string} names plus common aliases
+    (["aiger"] for ASCII AIGER); [None] for unknown strings. *)
+
+val detect : string -> format
+(** Sniff the format from file contents: the [aag ]/[aig ] magic wins,
+    everything else is treated as BLIF (BLIF has no magic). *)
+
+val parse : ?format:format -> ?top:string -> string -> (Ee_netlist.Netlist.t, string) result
+(** Parse file contents into a netlist.  [format] defaults to {!detect};
+    [top] selects the root BLIF model (ignored for AIGER).  Errors carry
+    the format name and a line number where available. *)
+
+val parse_exn : ?format:format -> ?top:string -> string -> Ee_netlist.Netlist.t
+(** {!parse}, raising [Invalid_argument] on error. *)
+
+type stats = {
+  s_format : format;
+  s_inputs : int;
+  s_outputs : int;
+  s_luts : int;
+  s_dffs : int;
+  s_depth : int;
+}
+(** Shape summary of an imported netlist, for sweep reports and the
+    [import] service. *)
+
+val stats : format -> Ee_netlist.Netlist.t -> stats

@@ -1,0 +1,24 @@
+(** Re-mapping of imported netlists through the priority-cuts mapper.
+
+    Netlists built by the frontend readers mirror the structure of the
+    source file — one LUT per AND gate, 4-ary decomposition trees for wide
+    covers — which is rarely a good LUT4 covering.  [run] lowers the
+    netlist to the {!Ee_rtl.Gates} IR (LUTs expanded through their
+    irredundant {!Ee_logic.Isop} covers, so hash-consing and constant
+    folding apply) and re-covers it with {!Ee_rtl.Cutmap}, by default in
+    the delay-driven [`Delay] mode.
+
+    Port names survive verbatim (width-1 flat ports), and registers keep
+    their reset values and next-state functions, so the result is
+    {!Ee_netlist.Equiv}-equivalent to the input — a property the test
+    suite and the corpus sweep check. *)
+
+val to_gates : Ee_netlist.Netlist.t -> Ee_rtl.Gates.circuit
+(** The lowering alone, for callers that want a different mapper. *)
+
+val run :
+  ?mode:Ee_rtl.Cutmap.mode ->
+  ?cuts_per_node:int ->
+  Ee_netlist.Netlist.t ->
+  Ee_netlist.Netlist.t
+(** [mode] defaults to [`Delay]. *)

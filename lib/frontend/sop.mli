@@ -1,0 +1,34 @@
+(** Sum-of-products to LUT4-network decomposition.
+
+    The import frontend meets logic the repo's own mappers never produce:
+    [.names] bodies of arbitrary width.  This module lowers a cube cover
+    over [nvars] variables onto the existing {!Ee_netlist.Netlist} builder
+    as a network of LUT4 cells: each cube becomes a balanced 4-ary tree of
+    literal-AND LUTs, the cubes are OR-reduced by a second 4-ary tree, and
+    an OFF-set cover is closed with a final complement folded into the top
+    LUT.  The resulting network is exact (no approximation) and is later
+    re-covered by the delay-driven mapper ({!Remap}), so tree shape only
+    affects the pre-mapping netlist, not the final depth. *)
+
+val max_vars : int
+(** Widest supported cover (bounded by the bits of an OCaml [int] carrying
+    a {!Ee_logic.Cube.t} mask; 60). *)
+
+val of_cover :
+  Ee_netlist.Netlist.builder ->
+  nvars:int ->
+  fanin:int array ->
+  complement:bool ->
+  Ee_logic.Cube.t list ->
+  int
+(** [of_cover b ~nvars ~fanin ~complement cubes] adds LUT4 nodes computing
+    [OR of cubes] (or its negation when [complement]) where cube variable
+    [j] reads node [fanin.(j)].  Returns the root node id.  An empty cover
+    is the constant false (true when [complement]); a universe cube makes
+    the whole cover constant true.  Raises [Invalid_argument] when [nvars]
+    exceeds {!max_vars} or [fanin] is shorter than [nvars]. *)
+
+val of_truthtab : Ee_netlist.Netlist.builder -> Ee_logic.Truthtab.t -> int array -> int
+(** Decompose a truth table of any supported arity: up to four variables
+    becomes a single LUT; wider tables are lowered through the smaller of
+    their irredundant ON/OFF {!Ee_logic.Isop} covers. *)

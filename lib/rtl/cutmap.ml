@@ -1,7 +1,7 @@
 module Netlist = Ee_netlist.Netlist
 module Lut4 = Ee_logic.Lut4
 
-type mode = Depth | Ee_aware
+type mode = Depth | Delay | Ee_aware
 
 let is_leaf = function
   | Gates.Gconst _ | Gates.Ginput _ | Gates.Greg _ -> true
@@ -75,13 +75,26 @@ let ee_expected_arrival ?memo gates root cut leaf_arrival =
   in
   best
 
-let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo (c : Gates.circuit) =
+let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
+    (c : Gates.circuit) =
   let gates = c.Gates.gates in
   let n = Array.length gates in
+  (* Fanout reference counts, for the area-flow estimate of [Delay] mode.
+     Interface roots (outputs, register next-state bits) count as one
+     reference each. *)
+  let refs = Array.make n 0 in
+  Array.iter (fun g -> List.iter (fun f -> refs.(f) <- refs.(f) + 1) (gate_fanins g)) gates;
+  List.iter
+    (fun (_, bits) -> Array.iter (fun g -> refs.(g) <- refs.(g) + 1) bits)
+    c.Gates.reg_next;
+  List.iter
+    (fun (_, bits) -> Array.iter (fun g -> refs.(g) <- refs.(g) + 1) bits)
+    c.Gates.out_bits;
   (* Per node: priority cut list (each cut sorted, without the trivial cut)
      plus the node's label (best achievable arrival) and chosen cut. *)
   let cut_lists = Array.make n [] in
   let labels = Array.make n 0. in
+  let aflow = Array.make n 0. in
   let best_cut = Array.make n [] in
   let merge_cuts lists =
     (* Cartesian merge of one cut per fanin, capped at 4 leaves. *)
@@ -124,35 +137,58 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo (c : Gates.circuit) =
         | x :: r -> x :: take (k - 1) r
       in
       let shortlist = take (max cuts_per_node 12) pre in
+      (* Area flow of covering [i] with [cut]: one LUT plus the flow of the
+         leaves, amortized over this node's fanout (Mishchenko et al.;
+         arrival-time primary key keeps the Depth-mode depth guarantee). *)
+      let cut_aflow cut =
+        (1. +. List.fold_left (fun acc l -> acc +. aflow.(l)) 0. cut)
+        /. float_of_int (max refs.(i) 1)
+      in
       let score cut =
         match mode with
-        | Depth -> depth_score cut
+        | Depth | Delay -> depth_score cut
         | Ee_aware -> ee_expected_arrival ?memo gates i cut (fun l -> labels.(l))
+      in
+      (* Tiebreak among equal-arrival cuts: area flow in [Delay] mode, cut
+         width otherwise (and as the final key everywhere). *)
+      let tiebreak cut =
+        match mode with Delay -> cut_aflow cut | Depth | Ee_aware -> 0.
       in
       let scored =
         List.stable_sort
-          (fun (sa, a) (sb, b) ->
-            match compare sa sb with 0 -> compare (List.length a) (List.length b) | x -> x)
-          (List.map (fun cut -> (score cut, cut)) shortlist)
+          (fun (sa, ta, a) (sb, tb, b) ->
+            match compare sa sb with
+            | 0 -> (
+                match compare ta tb with
+                | 0 -> compare (List.length a) (List.length b)
+                | x -> x)
+            | x -> x)
+          (List.map (fun cut -> (score cut, tiebreak cut, cut)) shortlist)
       in
       match scored with
       | [] -> invalid_arg "Cutmap.run: node with no feasible cut"
-      | (s, cut) :: _ ->
+      | (s, _, cut) :: _ ->
           labels.(i) <- s;
+          aflow.(i) <- cut_aflow cut;
           best_cut.(i) <- cut;
           (* Parents may also treat this node as a leaf (trivial cut). *)
           cut_lists.(i) <-
-            [ i ] :: take cuts_per_node (List.map snd scored)
+            [ i ] :: take cuts_per_node (List.map (fun (_, _, cut) -> cut) scored)
     end
   done;
-  (* Emit the netlist from the interface roots. *)
+  (* Emit the netlist from the interface roots.  [flat_ports] keeps the
+     verbatim name for width-1 ports instead of [name[0]], so netlists that
+     came in through the frontend keep their port interface (Equiv matches
+     ports by name). *)
+  let bit_name name width k =
+    if flat_ports && width = 1 then name else Printf.sprintf "%s[%d]" name k
+  in
   let b = Netlist.builder () in
   let input_ids = Hashtbl.create 64 in
   List.iter
     (fun (name, width) ->
       for k = 0 to width - 1 do
-        Hashtbl.replace input_ids (name, k)
-          (Netlist.add_input b (Printf.sprintf "%s[%d]" name k))
+        Hashtbl.replace input_ids (name, k) (Netlist.add_input b (bit_name name width k))
       done)
     c.Gates.input_bits;
   let reg_ids = Hashtbl.create 64 in
@@ -197,10 +233,12 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo (c : Gates.circuit) =
     c.Gates.reg_next;
   List.iter
     (fun (name, bits) ->
+      let width = Array.length bits in
       Array.iteri
-        (fun k g -> Netlist.set_output b (Printf.sprintf "%s[%d]" name k) (emit g))
+        (fun k g -> Netlist.set_output b (bit_name name width k) (emit g))
         bits)
     c.Gates.out_bits;
   Netlist.finalize b
 
-let run_rtl ?mode ?cuts_per_node ?memo d = run ?mode ?cuts_per_node ?memo (Elaborate.run d)
+let run_rtl ?mode ?cuts_per_node ?memo ?flat_ports d =
+  run ?mode ?cuts_per_node ?memo ?flat_ports (Elaborate.run d)

@@ -7,6 +7,16 @@
     - [`Depth] — classical worst-case objective: minimize the LUT level of
       every node (what synchronous mappers optimize, per the paper's §1
       observation);
+    - [`Delay] — the same arrival-time primary objective, breaking ties
+      among equal-arrival cuts by {e area flow} — the fanout-amortized LUT
+      count of the cone, [AF(cut) = (1 + Σ AF(leaf)) / refs(node)] — the
+      standard delay-driven priority-cuts recipe.  Depth stays at or below
+      {!Techmap}'s on every ITC99 bench (a corpus-sweep invariant) and
+      area shrinks below [`Depth] mode's; the tiebreak can shift which
+      cuts survive the priority list, so depth may differ from [`Depth]
+      by a level either way.
+      This is the default objective for netlists imported through the
+      frontend, where no RTL structure is available to help {!Techmap};
     - [`Ee_aware] — average-case objective: minimize the node's {e expected}
       arrival time under early evaluation, scoring each candidate cut by
       running the trigger search on its function and mixing the early and
@@ -18,22 +28,27 @@
     {!Techmap.run}'s output; the [--mappers] bench compares the EE speedup
     each mapping style admits. *)
 
-type mode = Depth | Ee_aware
+type mode = Depth | Delay | Ee_aware
 
 val run :
   ?mode:mode ->
   ?cuts_per_node:int ->
   ?memo:Ee_core.Trigger.Memo.t ->
+  ?flat_ports:bool ->
   Gates.circuit ->
   Ee_netlist.Netlist.t
 (** [cuts_per_node] bounds the priority list (default 8).  [memo] is the
     trigger-candidate cache [`Ee_aware] scoring consults (default: the
-    calling domain's {!Ee_core.Trigger.Memo.domain_default}); [`Depth]
-    mode never touches it. *)
+    calling domain's {!Ee_core.Trigger.Memo.domain_default}); the other
+    modes never touch it.  [flat_ports] (default [false]) names width-1
+    ports verbatim instead of [name[0]] — required when remapping an
+    imported netlist whose port names must survive for equivalence
+    checking. *)
 
 val run_rtl :
   ?mode:mode ->
   ?cuts_per_node:int ->
   ?memo:Ee_core.Trigger.Memo.t ->
+  ?flat_ports:bool ->
   Rtl.design ->
   Ee_netlist.Netlist.t

@@ -3,6 +3,12 @@ module Engine = Ee_engine.Engine
 
 type request =
   | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Engine.spec }
+  | Import of {
+      text : string;
+      format : Ee_frontend.Frontend.format option;
+      remap : bool;
+      spec : Engine.spec;
+    }
   | Perf of { bench : string; spec : Engine.spec; waves : int }
   | Faults of { bench : string; spec : Engine.spec; waves : int }
   | Stats
@@ -19,6 +25,7 @@ type envelope = {
 
 let cmd_name = function
   | Synth _ -> "synth"
+  | Import _ -> "import"
   | Perf _ -> "perf"
   | Faults _ -> "faults"
   | Stats -> "stats"
@@ -127,6 +134,35 @@ let request_of_json j =
         | None, None -> Error "synth needs a \"bench\" id or inline \"blif\" text"
       in
       Ok (Synth { source; spec })
+  | "import" ->
+      let* spec = spec_of_json j in
+      let* text = field_string j "text" in
+      let* text =
+        match text with
+        | None -> Error "import needs a \"text\" field with the file contents"
+        | Some t -> Ok t
+      in
+      let* encoding = field_string j "encoding" in
+      let* text =
+        match encoding with
+        | None | Some "none" -> Ok text
+        | Some "base64" -> Ee_util.Base64.decode text
+        | Some e -> Error (Printf.sprintf "unknown encoding %S (use \"base64\")" e)
+      in
+      let* fmt_name = field_string j "format" in
+      let* format =
+        match fmt_name with
+        | None | Some "auto" -> Ok None
+        | Some s -> (
+            match Ee_frontend.Frontend.format_of_string s with
+            | Some f -> Ok (Some f)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown format %S (use \"auto\", \"blif\", \"aag\" or \"aig\")" s))
+      in
+      let* remap = field_bool j "remap" in
+      Ok (Import { text; format; remap = Option.value remap ~default:true; spec })
   | "perf" ->
       let* spec = spec_of_json j in
       let* bench = bench_of_json j in
@@ -192,6 +228,26 @@ let envelope_to_json env =
         (match source with
         | `Bench b -> [ ("bench", Json.String b) ]
         | `Blif text -> [ ("blif", Json.String text) ])
+        @ spec_fields spec
+    | Import { text; format; remap; spec } ->
+        (* Binary payloads (the delta-coded AIGER AND section) cannot ride
+           in a JSON string; base64 them.  Printable text goes verbatim. *)
+        let binary =
+          String.exists
+            (fun c -> (c < ' ' && c <> '\n' && c <> '\t' && c <> '\r') || c > '\x7e')
+            text
+        in
+        (if binary then
+           [
+             ("text", Json.String (Ee_util.Base64.encode text));
+             ("encoding", Json.String "base64");
+           ]
+         else [ ("text", Json.String text) ])
+        @ (match format with
+          | None -> []
+          | Some f ->
+              [ ("format", Json.String (Ee_frontend.Frontend.format_to_string f)) ])
+        @ (if remap then [] else [ ("remap", Json.Bool false) ])
         @ spec_fields spec
     | Perf { bench; spec; waves } ->
         [ ("bench", Json.String bench); ("waves", Json.Int waves) ] @ spec_fields spec

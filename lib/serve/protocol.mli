@@ -10,6 +10,8 @@
     {v
     {"cmd":"synth","bench":"b04","vectors":100,"seed":2002}
     {"cmd":"synth","blif":".model m\n...","threshold":50}
+    {"cmd":"import","text":".model m\n...","format":"auto"}
+    {"cmd":"import","text":"YWlnIDc...","encoding":"base64","format":"aig"}
     {"cmd":"perf","bench":"b01","waves":240}
     {"cmd":"faults","bench":"b01","waves":16}
     {"cmd":"stats"}
@@ -25,7 +27,19 @@
     [gate_delay], [ee_overhead], [selection] = ["eq1"]|["mcr"]); omitted
     knobs default to {!Ee_engine.Engine.default_spec}.  [synth] takes its
     netlist either from ["bench"] (an ITC99 id) or from ["blif"] (inline
-    BLIF text, parsed with {!Ee_export.Blif.parse}).  [sleep] occupies a
+    BLIF text, parsed with {!Ee_export.Blif.parse}).
+
+    [import] runs the arbitrary-netlist frontend: ["text"] holds the file
+    contents (full-dialect BLIF or ASCII/binary AIGER), optionally
+    base64-coded (["encoding":"base64"] — required for binary AIGER, since
+    JSON strings cannot carry arbitrary bytes).  ["format"] is ["auto"]
+    (default, sniffs the [aag]/[aig] magic), ["blif"], ["aag"] or ["aig"];
+    ["remap"] (default [true]) re-covers the parsed netlist with the
+    delay-driven cut mapper ({!Ee_frontend.Remap}) before PL mapping, EE
+    synthesis and simulation — the same measurements [synth] reports, plus
+    the imported and mapped netlist shapes.
+
+    [sleep] occupies a
     worker for the given time — a debugging aid for exercising deadlines
     and admission control without burning CPU.  [health] is the liveness
     probe used by the [ee_fleet] supervisor: answered inline by the event
@@ -57,6 +71,12 @@
 
 type request =
   | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Ee_engine.Engine.spec }
+  | Import of {
+      text : string;  (** Decoded file contents (may be binary AIGER). *)
+      format : Ee_frontend.Frontend.format option;  (** [None] = auto-detect. *)
+      remap : bool;
+      spec : Ee_engine.Engine.spec;
+    }
   | Perf of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
   | Faults of { bench : string; spec : Ee_engine.Engine.spec; waves : int }
   | Stats

@@ -174,9 +174,33 @@ let faults_json ~spec ~waves b =
   in
   Json.raw_compact (Ee_fault.Campaign.to_json r)
 
-(* Compute-outside-the-lock: [Cache.find]/[Cache.add] each take the cache
-   mutex briefly, the synthesis itself runs unlocked.  Two workers racing
-   on one key both compute the identical payload; last insert wins. *)
+(* The import path: arbitrary-netlist frontend (full BLIF / AIGER) ->
+   optional delay-driven remap -> the same measurements as [synth], plus
+   the imported and mapped netlist shapes. *)
+let import_json ~spec ~remap ~format nl =
+  let module F = Ee_frontend.Frontend in
+  let shape tag netlist =
+    let s = F.stats format netlist in
+    ( tag,
+      Json.Obj
+        [
+          ("inputs", Json.Int s.F.s_inputs);
+          ("outputs", Json.Int s.F.s_outputs);
+          ("luts", Json.Int s.F.s_luts);
+          ("dffs", Json.Int s.F.s_dffs);
+          ("depth", Json.Int s.F.s_depth);
+        ] )
+  in
+  let mapped = if remap then Ee_frontend.Remap.run nl else nl in
+  let synth = synth_netlist_json ~spec mapped in
+  Json.Obj
+    [
+      ("format", Json.String (F.format_to_string format));
+      ("remapped", Json.Bool remap);
+      shape "imported" nl;
+      shape "mapped" mapped;
+      ("synth", synth);
+    ]
 let with_cache cache key run =
   match Cache.find cache key with
   | Some payload -> (Json.Raw payload, true)
@@ -207,8 +231,8 @@ let probe_key (req : Protocol.request) =
         (fun blif -> bench_key ~cmd:"faults" ~blif ~spec [ string_of_int waves ])
         (memoized bench)
   | Protocol.Synth { source = `Blif _; _ }
-  | Protocol.Stats | Protocol.Health | Protocol.Ping | Protocol.Sleep _
-  | Protocol.Shutdown ->
+  | Protocol.Import _ | Protocol.Stats | Protocol.Health | Protocol.Ping
+  | Protocol.Sleep _ | Protocol.Shutdown ->
       None
 
 let with_trace trace ~bench name f =
@@ -237,6 +261,25 @@ let compute ~trace ~cache (req : Protocol.request) =
               with_trace trace ~bench:"netlist" "synth" (fun () ->
                   let key = bench_key ~cmd:"synth" ~blif:(Blif.to_blif nl) ~spec [] in
                   with_cache cache key (fun () -> synth_netlist_json ~spec nl))))
+  | Protocol.Import { text; format; remap; spec } -> (
+      match Ee_frontend.Frontend.parse ?format text with
+      | Error e -> raise (Reject ("bad_request", e))
+      | Ok nl ->
+          let format =
+            match format with
+            | Some f -> f
+            | None -> Ee_frontend.Frontend.detect text
+          in
+          with_trace trace ~bench:"import" "import" (fun () ->
+              (* Content-addressed on the canonical BLIF of the parsed
+                 netlist, so the same circuit arriving as BLIF, ASCII or
+                 binary AIGER shares compute per (remap, spec); the source
+                 format stays in the key because the payload echoes it. *)
+              let key =
+                bench_key ~cmd:"import" ~blif:(Blif.to_blif nl) ~spec
+                  [ string_of_bool remap; Ee_frontend.Frontend.format_to_string format ]
+              in
+              with_cache cache key (fun () -> import_json ~spec ~remap ~format nl)))
   | Protocol.Perf { bench; spec; waves } ->
       let b = find_bench bench in
       with_trace trace ~bench "perf" (fun () ->
@@ -258,7 +301,7 @@ let compute ~trace ~cache (req : Protocol.request) =
    throttled or shed below the hard bound: rejecting it forfeits a cache
    fill that would absorb the repeat traffic causing the load. *)
 let cacheable_req = function
-  | Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ -> true
+  | Protocol.Synth _ | Protocol.Import _ | Protocol.Perf _ | Protocol.Faults _ -> true
   | Protocol.Sleep _ -> false
   | Protocol.Stats | Protocol.Health | Protocol.Ping | Protocol.Shutdown -> false
 
@@ -629,8 +672,8 @@ let shard_loop ~cfg ~pool ~cache ~metrics ~inflight ~stop ~shards sh =
               answer ~cmd ~outcome:`Ok
                 (Protocol.ok_response ~id ~cmd ~cached:false ~elapsed_ms:0.
                    (Json.Obj [ ("stopping", Json.Bool true) ]))
-          | (Protocol.Synth _ | Protocol.Perf _ | Protocol.Faults _ | Protocol.Sleep _)
-            as req -> (
+          | ( Protocol.Synth _ | Protocol.Import _ | Protocol.Perf _ | Protocol.Faults _
+            | Protocol.Sleep _ ) as req -> (
               (* Fast path: a repeat of a benchmark request whose canonical
                  BLIF is memoized can be answered from the cache inline,
                  without occupying a worker or waiting for a wake-up. *)

@@ -1,0 +1,80 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit v = Buffer.add_char buf alphabet.[v land 63] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (v lsr 18);
+    emit (v lsr 12);
+    emit (v lsr 6);
+    emit v;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let v = byte !i lsl 16 in
+      emit (v lsr 18);
+      emit (v lsr 12);
+      Buffer.add_string buf "=="
+  | 2 ->
+      let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      emit (v lsr 18);
+      emit (v lsr 12);
+      emit (v lsr 6);
+      Buffer.add_char buf '='
+  | _ -> ());
+  Buffer.contents buf
+
+let value = function
+  | 'A' .. 'Z' as c -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' as c -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let decode s =
+  let buf = Buffer.create (String.length s * 3 / 4) in
+  let quad = Array.make 4 0 in
+  let fill = ref 0 in
+  let pad = ref 0 in
+  let error = ref None in
+  let flush () =
+    let v =
+      (quad.(0) lsl 18) lor (quad.(1) lsl 12) lor (quad.(2) lsl 6) lor quad.(3)
+    in
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    if !pad < 2 then Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    if !pad < 1 then Buffer.add_char buf (Char.chr (v land 0xff));
+    fill := 0
+  in
+  String.iter
+    (fun c ->
+      if !error = None then
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> ()
+        | '=' ->
+            if !fill < 2 || !pad >= 2 then error := Some "misplaced '='"
+            else begin
+              quad.(!fill) <- 0;
+              incr fill;
+              incr pad;
+              if !fill = 4 then flush ()
+            end
+        | c -> (
+            if !pad > 0 then error := Some "data after padding"
+            else
+              match value c with
+              | None -> error := Some (Printf.sprintf "invalid character %C" c)
+              | Some v ->
+                  quad.(!fill) <- v;
+                  incr fill;
+                  if !fill = 4 then flush ()))
+    s;
+  match !error with
+  | Some e -> Error ("base64: " ^ e)
+  | None -> if !fill <> 0 then Error "base64: truncated input" else Ok (Buffer.contents buf)

@@ -1,0 +1,11 @@
+(** RFC 4648 base64, standard alphabet with padding.
+
+    The serving protocol carries binary AIGER files inside JSON string
+    fields; JSON strings cannot hold arbitrary bytes, so binary payloads
+    cross the wire base64-encoded ([{"encoding":"base64"}]). *)
+
+val encode : string -> string
+
+val decode : string -> (string, string) result
+(** Rejects characters outside the alphabet, bad padding and truncated
+    input.  Ignores ASCII whitespace. *)
