@@ -30,6 +30,12 @@
                               depth gate (writes BENCH_corpus.json; exits
                               non-zero on any taxonomy or depth-gate failure)
      main.exe --corpus-dir D  also sweep the .blif/.aag/.aig files in D
+     main.exe --search        CEGIS trigger search vs brute force and the
+                              ITC99 shared-trigger period table (writes
+                              BENCH_search.json; exits non-zero if pruned
+                              search loses to brute force at arity 6, on
+                              any search/brute disagreement, or if sharing
+                              regresses any bench's period)
      main.exe --fast          fewer vectors (CI-friendly)
      main.exe --csv           also print Table 3 as CSV *)
 
@@ -1668,6 +1674,228 @@ let print_corpus ?dir ~fast () =
     exit 1
   end
 
+(* Experiment 18: the sketch/CEGIS trigger search against brute-force
+   subset enumeration, and shared multi-master triggers on the ITC99
+   suite.  Writes BENCH_search.json.
+
+   Gates (exit 1):
+   - at arity 6 under the deployed pruning configuration (coverage floor +
+     top-k ring) the CEGIS driver must beat brute force wall-clock;
+   - searched and brute candidate lists must agree on every function;
+   - on every ITC99 bench the shared-trigger period must not exceed the
+     per-gate MCR plan's. *)
+
+let print_search ~fast () =
+  section "Search: CEGIS trigger synthesis vs brute force (Ext. 18)";
+  let module Json = Ee_export.Json in
+  let module Driver = Ee_search.Driver in
+  let module Select = Ee_search.Search_select in
+  let module Cutmap = Ee_rtl.Cutmap in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  (* A. Crossover: random functions per arity, both engines, unpruned and
+     under the pruning the selection flow actually deploys. *)
+  let pr_min = 50. and pr_top = 8 in
+  let n_funcs = if fast then 12 else 48 in
+  let t =
+    Ee_util.Table.create
+      ~headers:
+        [ "Arity"; "Funcs"; "Brute ms"; "Search ms"; "Brute ms (pruned)"; "Search ms (pruned)"; "Agree" ]
+  in
+  let crossover_rows = ref [] in
+  let disagreements = ref 0 in
+  let gate_search_ms = ref infinity and gate_brute_ms = ref 0. in
+  List.iter
+    (fun arity ->
+      let fs =
+        Array.init n_funcs (fun i ->
+            Ee_logic.Truthtab.random (Ee_util.Prng.create (seed + (1000 * arity) + i)) arity)
+      in
+      let run_all f = Array.iter (fun tt -> ignore (f tt)) fs in
+      (* One timed pass is at the mercy of CPU-frequency bursts on shared
+         runners, so: warm both engines up, then interleave repeated passes
+         and keep each engine's best — drift hits all four configurations
+         alike instead of whichever ran first. *)
+      let brute () = run_all Ee_core.Trigger_wide.candidates in
+      let search () = run_all Driver.candidates in
+      let brute_pr () =
+        run_all (Ee_core.Trigger_wide.candidates ~min_coverage:pr_min ~top_k:pr_top)
+      in
+      let search_pr () =
+        run_all (fun tt -> Driver.candidates ~min_coverage:pr_min ~top_k:pr_top tt)
+      in
+      let probed = ref 0 and bound_pruned = ref 0 in
+      (* Warmup doubles as the stats pass. *)
+      brute ();
+      search ();
+      brute_pr ();
+      Array.iter
+        (fun tt ->
+          let _, stats = Driver.search ~min_coverage:pr_min ~top_k:pr_top tt in
+          probed := !probed + stats.Driver.probed;
+          bound_pruned := !bound_pruned + stats.Driver.bound_pruned)
+        fs;
+      let brute_ms = ref infinity
+      and search_ms = ref infinity
+      and brute_pr_ms = ref infinity
+      and search_pr_ms = ref infinity in
+      for _ = 1 to 3 do
+        let (), ms = time brute in
+        brute_ms := Float.min !brute_ms ms;
+        let (), ms = time search in
+        search_ms := Float.min !search_ms ms;
+        let (), ms = time brute_pr in
+        brute_pr_ms := Float.min !brute_pr_ms ms;
+        let (), ms = time search_pr in
+        search_pr_ms := Float.min !search_pr_ms ms
+      done;
+      let brute_ms = !brute_ms
+      and search_ms = !search_ms
+      and brute_pr_ms = !brute_pr_ms
+      and search_pr_ms = !search_pr_ms in
+      let agree = Array.for_all Driver.agrees_with_brute fs in
+      if not agree then incr disagreements;
+      if arity = 6 then begin
+        gate_search_ms := search_pr_ms;
+        gate_brute_ms := brute_pr_ms
+      end;
+      Ee_util.Table.add_row t
+        [
+          string_of_int arity;
+          string_of_int n_funcs;
+          Printf.sprintf "%.2f" brute_ms;
+          Printf.sprintf "%.2f" search_ms;
+          Printf.sprintf "%.2f" brute_pr_ms;
+          Printf.sprintf "%.2f" search_pr_ms;
+          (if agree then "yes" else "NO");
+        ];
+      crossover_rows :=
+        Json.Obj
+          [
+            ("arity", Json.Int arity);
+            ("functions", Json.Int n_funcs);
+            ("brute_ms", Json.Float brute_ms);
+            ("search_ms", Json.Float search_ms);
+            ("brute_pruned_ms", Json.Float brute_pr_ms);
+            ("search_pruned_ms", Json.Float search_pr_ms);
+            ("probed", Json.Int !probed);
+            ("bound_pruned", Json.Int !bound_pruned);
+            ("agree", Json.Bool agree);
+          ]
+        :: !crossover_rows)
+    [ 4; 5; 6 ];
+  Ee_util.Table.print t;
+  let crossover_ok = !gate_search_ms < !gate_brute_ms in
+  Printf.printf
+    "arity-6 pruned crossover (floor %.0f%%, top-%d): search %.2f ms vs brute %.2f ms (%s)\n"
+    pr_min pr_top !gate_search_ms !gate_brute_ms
+    (if crossover_ok then "search wins" else "BRUTE WINS");
+  (* B. ITC99 shared-trigger periods against the per-gate MCR floor, plus
+     the wide-cone coverage summary at LUT-6. *)
+  let itc =
+    List.filter
+      (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+        not (fast && List.mem b.Ee_bench_circuits.Itc99.id [ "b14"; "b15" ]))
+      Ee_bench_circuits.Itc99.all
+  in
+  let t =
+    Ee_util.Table.create
+      ~headers:
+        [ "Benchmark"; "no-EE"; "MCR"; "Search"; "Trials"; "Groups"; "Wide cones"; "Best cov %" ]
+  in
+  let lambda_failures = ref [] in
+  let itc_rows =
+    List.map
+      (fun (b : Ee_bench_circuits.Itc99.benchmark) ->
+        let id = b.Ee_bench_circuits.Itc99.id in
+        let a = Ee_report.Pipeline.build b in
+        let _, r = Select.run a.Ee_report.Pipeline.pl in
+        if r.Select.lambda > r.Select.lambda_mcr then
+          lambda_failures :=
+            Printf.sprintf "%s: shared lambda %.4f > mcr lambda %.4f" id r.Select.lambda
+              r.Select.lambda_mcr
+            :: !lambda_failures;
+        let covers =
+          Cutmap.wide_covers ~lut_k:6
+            (Ee_frontend.Remap.to_gates a.Ee_report.Pipeline.netlist)
+        in
+        let wide = List.filter (fun w -> List.length w.Cutmap.wleaves > 4) covers in
+        let best_cov =
+          if wide = [] then 0.
+          else
+            List.fold_left
+              (fun acc w ->
+                match Driver.candidates ~top_k:1 w.Cutmap.wfunc with
+                | c :: _ -> acc +. c.Driver.coverage
+                | [] -> acc)
+              0. wide
+            /. float_of_int (List.length wide)
+        in
+        Ee_util.Table.add_row t
+          [
+            id;
+            Printf.sprintf "%.2f" r.Select.lambda_no_ee;
+            Printf.sprintf "%.2f" r.Select.lambda_mcr;
+            Printf.sprintf "%.2f" r.Select.lambda;
+            string_of_int r.Select.trials;
+            string_of_int (List.length r.Select.shared_groups);
+            string_of_int (List.length wide);
+            Printf.sprintf "%.1f" best_cov;
+          ];
+        Json.Obj
+          [
+            ("id", Json.String id);
+            ("lambda_no_ee", Json.Float r.Select.lambda_no_ee);
+            ("lambda_mcr", Json.Float r.Select.lambda_mcr);
+            ("lambda_search", Json.Float r.Select.lambda);
+            ("trials", Json.Int r.Select.trials);
+            ("fell_back", Json.Bool r.Select.fell_back);
+            ("shared_groups", Json.Int (List.length r.Select.shared_groups));
+            ("wide_cones", Json.Int (List.length wide));
+            ("mean_best_coverage_percent", Json.Float best_cov);
+          ])
+      itc
+  in
+  Ee_util.Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("fast", Json.Bool fast);
+        ("crossover", Json.List (List.rev !crossover_rows));
+        ( "crossover_gate",
+          Json.Obj
+            [
+              ("arity", Json.Int 6);
+              ("min_coverage", Json.Float pr_min);
+              ("top_k", Json.Int pr_top);
+              ("search_ms", Json.Float !gate_search_ms);
+              ("brute_ms", Json.Float !gate_brute_ms);
+              ("passed", Json.Bool crossover_ok);
+            ] );
+        ("itc99", Json.List itc_rows);
+        ("lambda_gate_passed", Json.Bool (!lambda_failures = []));
+      ]
+  in
+  let oc = open_out "BENCH_search.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_search.json\n";
+  if !disagreements > 0 then begin
+    Printf.printf "FAIL: search/brute disagreement on %d arity group(s)\n" !disagreements;
+    exit 1
+  end;
+  if not crossover_ok then begin
+    Printf.printf "FAIL: pruned search slower than brute force at arity 6\n";
+    exit 1
+  end;
+  List.iter (fun f -> Printf.printf "FAIL: %s\n" f) !lambda_failures;
+  if !lambda_failures <> [] then exit 1
+
 (* Bechamel micro-benchmarks: one Test.make per paper table plus the core
    algorithm kernels. *)
 
@@ -1702,6 +1930,15 @@ let micro () =
         (Staged.stage
            (let f = Ee_logic.Truthtab.random (Ee_util.Prng.create 6) 6 in
             fun () -> ignore (Ee_core.Trigger_wide.candidates f)));
+      Test.make ~name:"trigger-cegis-width-6"
+        (Staged.stage
+           (let f = Ee_logic.Truthtab.random (Ee_util.Prng.create 6) 6 in
+            fun () -> ignore (Ee_search.Driver.candidates f)));
+      Test.make ~name:"trigger-cegis-width-6-pruned"
+        (Staged.stage
+           (let f = Ee_logic.Truthtab.random (Ee_util.Prng.create 6) 6 in
+            fun () ->
+              ignore (Ee_search.Driver.candidates ~min_coverage:50. ~top_k:8 f)));
       Test.make ~name:"table3:pl-wave-simulation(b04)"
         (Staged.stage (fun () ->
              ignore (Ee_sim.Sim.apply sim (Ee_util.Prng.bool_vector vec_rng width))));
@@ -1736,7 +1973,7 @@ let () =
         List.mem a
           [
             "--table"; "--sweep"; "--ablation-cost"; "--micro"; "--stream"; "--feedback";
-            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve"; "--chaos"; "--corpus";
+            "--analysis"; "--budget"; "--ncl"; "--sharing"; "--mappers"; "--families"; "--distribution"; "--ring"; "--jitter"; "--engine"; "--faults"; "--perf"; "--serve"; "--chaos"; "--corpus"; "--search";
           ])
       args
   in
@@ -1802,6 +2039,7 @@ let () =
     print_sharing ();
     print_ncl ();
     print_corpus ~fast:(has "--fast") ();
+    print_search ~fast:(has "--fast") ();
     micro ()
   end
   else begin
@@ -1830,5 +2068,6 @@ let () =
     if has "--sharing" then print_sharing ();
     if has "--ncl" then print_ncl ();
     if has "--corpus" then print_corpus ?dir:(find_value "--corpus-dir") ~fast:(has "--fast") ();
+    if has "--search" then print_search ~fast:(has "--fast") ();
     if has "--micro" then micro ()
   end

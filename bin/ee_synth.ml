@@ -389,6 +389,158 @@ let perf_cmd =
       const run $ bench_pos $ threshold_t $ coverage_only_t $ waves_t $ perf_seed_t
       $ tolerance_t $ json_t $ selection_t)
 
+let search_cmd =
+  let doc =
+    "CEGIS trigger search: wide-LUT cone analysis, shared multi-master triggers, \
+     coverage/area Pareto fronts."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Covers the benchmark's netlist with LUT-$(i,K) cones ($(b,--lut-k); analysis \
+         only — the emitted netlist cell stays LUT4), runs the sketch/CEGIS trigger \
+         search on every cone wider than four inputs and cross-checks it against the \
+         brute-force minterm scan.  $(b,--shared) additionally runs the shared \
+         multi-master trigger selection and prints the period table against the \
+         per-gate MCR floor; $(b,--pareto) N prints the coverage-vs-cubes front of \
+         the N widest cones.  Exits 1 on any search/brute disagreement or if the \
+         shared selection regresses the period.";
+    ]
+  in
+  let lut_k_t =
+    Arg.(value & opt int 6 & info [ "lut-k" ] ~docv:"K" ~doc:"Wide-LUT arity for the cone cover (4..8).")
+  in
+  let top_k_t =
+    Arg.(value & opt int 8 & info [ "top-k" ] ~docv:"N" ~doc:"Candidates kept per cone.")
+  in
+  let min_coverage_t =
+    Arg.(value & opt float 0. & info [ "min-coverage" ] ~docv:"PCT" ~doc:"Coverage floor for kept candidates.")
+  in
+  let shared_t =
+    Arg.(value & flag & info [ "shared" ] ~doc:"Run the shared multi-master trigger selection.")
+  in
+  let pareto_t =
+    Arg.(value & opt int 0 & info [ "pareto" ] ~docv:"N" ~doc:"Print the Pareto front of the N widest cones.")
+  in
+  let run bench lut_k top_k min_coverage shared pareto =
+    let module Cutmap = Ee_rtl.Cutmap in
+    let module Driver = Ee_search.Driver in
+    let module Select = Ee_search.Search_select in
+    let a = Ee_report.Pipeline.build bench in
+    let nl = a.Ee_report.Pipeline.netlist in
+    Printf.printf "%s: %s\n" a.Ee_report.Pipeline.id a.Ee_report.Pipeline.description;
+    let covers = Cutmap.wide_covers ~lut_k (Ee_frontend.Remap.to_gates nl) in
+    let wide = List.filter (fun w -> List.length w.Cutmap.wleaves > 4) covers in
+    let hist = Array.make (lut_k + 1) 0 in
+    List.iter
+      (fun w ->
+        let k = List.length w.Cutmap.wleaves in
+        hist.(k) <- hist.(k) + 1)
+      covers;
+    Printf.printf "  LUT-%d cover: %d cones (%d wider than 4 inputs); width histogram:" lut_k
+      (List.length covers) (List.length wide);
+    Array.iteri (fun k c -> if c > 0 then Printf.printf " %d:%d" k c) hist;
+    print_newline ();
+    (* Search vs brute force, cone by cone, with the driver's work accounting. *)
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, (Unix.gettimeofday () -. t0) *. 1e3)
+    in
+    let search_ms = ref 0. and brute_ms = ref 0. and mismatches = ref 0 in
+    let probed = ref 0 and bound_pruned = ref 0 in
+    let analyzed =
+      List.map
+        (fun w ->
+          let (cands, stats), s_ms =
+            time (fun () -> Driver.search ~min_coverage ~top_k w.Cutmap.wfunc)
+          in
+          let brute, b_ms =
+            time (fun () -> Ee_core.Trigger_wide.candidates ~min_coverage ~top_k w.Cutmap.wfunc)
+          in
+          search_ms := !search_ms +. s_ms;
+          brute_ms := !brute_ms +. b_ms;
+          probed := !probed + stats.Driver.probed;
+          bound_pruned := !bound_pruned + stats.Driver.bound_pruned;
+          let agree =
+            List.length cands = List.length brute
+            && List.for_all2
+                 (fun (s : Driver.candidate) (b : Ee_core.Trigger_wide.candidate) ->
+                   s.Driver.subset = b.Ee_core.Trigger_wide.subset
+                   && s.Driver.coverage_count = b.Ee_core.Trigger_wide.coverage_count)
+                 cands brute
+          in
+          if not agree then incr mismatches;
+          (w, cands))
+        wide
+    in
+    Printf.printf
+      "  search vs brute on the %d wide cones: %.1f ms vs %.1f ms (%d probed, %d \
+       bound-pruned, %d disagreement%s)\n"
+      (List.length wide) !search_ms !brute_ms !probed !bound_pruned !mismatches
+      (if !mismatches = 1 then "" else "s");
+    let widest =
+      List.stable_sort
+        (fun (wa, _) (wb, _) ->
+          compare (List.length wb.Cutmap.wleaves) (List.length wa.Cutmap.wleaves))
+        analyzed
+    in
+    List.iteri
+      (fun i (w, cands) ->
+        if i < 10 then
+          let best =
+            List.fold_left
+              (fun acc (c : Driver.candidate) -> max acc c.Driver.coverage)
+              0. cands
+          in
+          Printf.printf "    cone %4d: %d inputs, %2d candidates, best coverage %.1f%%\n"
+            w.Cutmap.wroot
+            (List.length w.Cutmap.wleaves)
+            (List.length cands) best)
+      widest;
+    if !mismatches > 0 then begin
+      Printf.eprintf "ee_synth search: search/brute disagreement\n";
+      exit 1
+    end;
+    if shared then begin
+      let _, r = Select.run (Ee_phased.Pl.of_netlist nl) in
+      Printf.printf "  shared-trigger selection:\n";
+      Printf.printf "    lambda no-EE %.3f   mcr %.3f   search %.3f   (%d trial%s%s)\n"
+        r.Select.lambda_no_ee r.Select.lambda_mcr r.Select.lambda r.Select.trials
+        (if r.Select.trials = 1 then "" else "s")
+        (if r.Select.fell_back then ", FELL BACK" else "");
+      List.iter
+        (fun (g : Select.shared_group) ->
+          Printf.printf "    group: masters [%s] over signals [%s], mean coverage %.1f%%\n"
+            (String.concat "," (List.map string_of_int g.Select.sg_masters))
+            (String.concat "," (List.map string_of_int g.Select.sg_signals))
+            g.Select.sg_coverage)
+        r.Select.shared_groups;
+      if r.Select.lambda > r.Select.lambda_mcr then begin
+        Printf.eprintf "ee_synth search: shared selection regressed the period\n";
+        exit 1
+      end
+    end;
+    List.iteri
+      (fun i (w, _) ->
+        if i < pareto then begin
+          Printf.printf "  pareto front of cone %d (%d inputs):\n" w.Cutmap.wroot
+            (List.length w.Cutmap.wleaves);
+          List.iter
+            (fun (p : Ee_search.Pareto.point) ->
+              Printf.printf "    %2d cube%s -> %5.1f%% coverage (subset %#x%s)\n"
+                p.Ee_search.Pareto.pt_cubes
+                (if p.Ee_search.Pareto.pt_cubes = 1 then " " else "s")
+                p.Ee_search.Pareto.pt_coverage p.Ee_search.Pareto.pt_subset
+                (if p.Ee_search.Pareto.pt_exact then "" else ", budgeted"))
+            (Ee_search.Pareto.front w.Cutmap.wfunc)
+        end)
+      widest
+  in
+  Cmd.v (Cmd.info "search" ~doc ~man)
+    Term.(const run $ bench_pos $ lut_k_t $ top_k_t $ min_coverage_t $ shared_t $ pareto_t)
+
 let check_cmd =
   let doc = "Verify marked-graph liveness and safety of the PL mapping (with and without EE)." in
   let run bench =
@@ -421,7 +573,7 @@ let client_cmd =
     ]
   in
   let run command socket tcp bench blif file format_name no_remap waves deadline
-      threshold coverage_only vectors seed selection json =
+      threshold coverage_only vectors seed selection search lut_k json =
     let module Client = Ee_serve.Client in
     let module Protocol = Ee_serve.Protocol in
     let address =
@@ -438,9 +590,12 @@ let client_cmd =
     in
     let spec =
       let base = spec_of threshold coverage_only vectors seed in
-      match Option.bind selection Engine.selection_of_string with
-      | Some sel -> Engine.with_selection sel base
-      | None -> base
+      let base =
+        match Option.bind selection Engine.selection_of_string with
+        | Some sel -> Engine.with_selection sel base
+        | None -> base
+      in
+      match lut_k with Some k -> Engine.with_lut_k k base | None -> base
     in
     let source =
       match (bench, blif) with
@@ -461,7 +616,8 @@ let client_cmd =
       | _ -> (
           let req =
             match command with
-            | "synth" -> Result.map (fun source -> Protocol.Synth { source; spec }) source
+            | "synth" ->
+                Result.map (fun source -> Protocol.Synth { source; spec; search }) source
             | "import" -> (
                 match file with
                 | None -> Error "import needs --file NETLIST"
@@ -559,7 +715,13 @@ let client_cmd =
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc:"Per-request deadline in seconds.")
   in
   let selection_t =
-    Arg.(value & opt (some string) None & info [ "selection" ] ~docv:"NAME" ~doc:"EE selection: eq1 or mcr.")
+    Arg.(value & opt (some string) None & info [ "selection" ] ~docv:"NAME" ~doc:"EE selection: eq1, mcr or search.")
+  in
+  let search_t =
+    Arg.(value & flag & info [ "search" ] ~doc:"Ask 'synth' for the trigger-search section (shared-trigger lambda table and wide-cone summary).")
+  in
+  let lut_k_t =
+    Arg.(value & opt (some int) None & info [ "lut-k" ] ~docv:"K" ~doc:"Wide-LUT arity for the search analyses (4..8).")
   in
   let json_t =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"REQUEST" ~doc:"Raw request line for 'raw'.")
@@ -569,14 +731,14 @@ let client_cmd =
       const run $ command_pos $ socket_t $ tcp_t $ bench_t $ blif_t $ file_t
       $ format_t $ no_remap_t $ waves_t
       $ deadline_t $ threshold_t $ coverage_only_t $ vectors_t $ seed_t
-      $ selection_t $ json_t)
+      $ selection_t $ search_t $ lut_k_t $ json_t)
 
 let main =
   let doc = "early-evaluation synthesis for phased-logic circuits (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "ee_synth" ~doc)
     [
       list_cmd; run_cmd; suite_cmd; inspect_cmd; check_cmd; export_cmd; analyze_cmd;
-      perf_cmd; faults_cmd; client_cmd;
+      perf_cmd; faults_cmd; search_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

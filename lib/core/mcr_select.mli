@@ -27,6 +27,11 @@ type options = {
 
 val default_options : options
 
+val request_of : Trigger.candidate -> float -> Ee_phased.Pl.ee_info_request
+(** Package a chosen candidate (plus its recorded Eq. 1 cost) as the
+    [Pl.with_ee] attachment request.  Exported for selection policies that
+    extend this one (e.g. [Ee_search.Search_select]). *)
+
 val plan :
   ?options:options -> ?memo:Trigger.Memo.t -> Ee_phased.Pl.t -> Synth.gate_choice list
 (** Greedy selection as described above; master ids ascending.  The [cost]

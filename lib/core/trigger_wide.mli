@@ -6,7 +6,8 @@
     and each coverage computation scans [2^k] minterms, so the cost grows
     as roughly [4^k].  This module runs the same algorithm over arbitrary
     truth tables so the [--micro] bench can measure that growth (and so
-    hypothetical LUT5/LUT6 flows could reuse the machinery). *)
+    LUT5/LUT6 flows can cross-check the {!Ee_search} CEGIS driver, which
+    computes the same candidates without the minterm scans). *)
 
 type candidate = {
   subset : int;  (** Variable bitmask. *)
@@ -17,8 +18,18 @@ type candidate = {
 
 val trigger_function : Ee_logic.Truthtab.t -> subset:int -> Ee_logic.Truthtab.t
 
-val candidates : Ee_logic.Truthtab.t -> candidate list
-(** Non-empty strict subsets of the support with positive coverage. *)
+val candidates :
+  ?min_coverage:float -> ?top_k:int -> Ee_logic.Truthtab.t -> candidate list
+(** Non-empty strict subsets of the support with positive coverage, subset
+    ascending.  [min_coverage] (percent, default 0) drops weaker candidates
+    as they are found instead of materializing them; [top_k] keeps only the
+    [k] best by the {!prune} rule.  With neither, the full list. *)
+
+val prune : ?min_coverage:float -> ?top_k:int -> candidate list -> candidate list
+(** The selection rule shared with the search driver: drop zero-coverage
+    and sub-[min_coverage] candidates, rank by (coverage descending, subset
+    ascending), keep the first [top_k], and return in subset order.
+    Raises [Invalid_argument] on a negative [top_k]. *)
 
 val agrees_with_lut4 : Ee_logic.Lut4.t -> bool
 (** Cross-check: at arity 4 this module computes exactly what

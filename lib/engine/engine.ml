@@ -2,7 +2,7 @@ module Pipeline = Ee_report.Pipeline
 module Tables = Ee_report.Tables
 module Itc99 = Ee_bench_circuits.Itc99
 
-type selection = Eq1 | Mcr
+type selection = Eq1 | Mcr | Search
 
 type spec = {
   threshold : float;
@@ -14,6 +14,7 @@ type spec = {
   gate_delay : float;
   ee_overhead : float;
   selection : selection;
+  lut_k : int;
 }
 
 let default_spec =
@@ -27,13 +28,15 @@ let default_spec =
     gate_delay = Ee_sim.Sim.default_config.Ee_sim.Sim.gate_delay;
     ee_overhead = Ee_sim.Sim.default_config.Ee_sim.Sim.ee_overhead;
     selection = Eq1;
+    lut_k = 4;
   }
 
-let selection_to_string = function Eq1 -> "eq1" | Mcr -> "mcr"
+let selection_to_string = function Eq1 -> "eq1" | Mcr -> "mcr" | Search -> "search"
 
 let selection_of_string = function
   | "eq1" -> Some Eq1
   | "mcr" -> Some Mcr
+  | "search" -> Some Search
   | _ -> None
 
 (* Exhaustive over the record so a new knob cannot be forgotten silently:
@@ -49,13 +52,14 @@ let spec_fingerprint spec =
     gate_delay;
     ee_overhead;
     selection;
+    lut_k;
   } =
     spec
   in
   Printf.sprintf
-    "spec-v1;threshold=%h;coverage_only=%b;min_coverage=%h;share_triggers=%b;vectors=%d;seed=%d;gate_delay=%h;ee_overhead=%h;selection=%s"
+    "spec-v2;threshold=%h;coverage_only=%b;min_coverage=%h;share_triggers=%b;vectors=%d;seed=%d;gate_delay=%h;ee_overhead=%h;selection=%s;lut_k=%d"
     threshold coverage_only min_coverage share_triggers vectors seed gate_delay
-    ee_overhead (selection_to_string selection)
+    ee_overhead (selection_to_string selection) lut_k
 
 let with_threshold threshold spec = { spec with threshold }
 let with_coverage_only coverage_only spec = { spec with coverage_only }
@@ -66,6 +70,10 @@ let with_seed seed spec = { spec with seed }
 let with_gate_delay gate_delay spec = { spec with gate_delay }
 let with_ee_overhead ee_overhead spec = { spec with ee_overhead }
 let with_selection selection spec = { spec with selection }
+
+let with_lut_k lut_k spec =
+  if lut_k < 4 || lut_k > 8 then invalid_arg "Engine.with_lut_k: lut_k must be in 4..8";
+  { spec with lut_k }
 
 let synth_options spec =
   {
@@ -86,6 +94,12 @@ let mcr_options spec =
     Ee_core.Mcr_select.min_coverage = spec.min_coverage;
     gate_delay = spec.gate_delay;
     ee_overhead = spec.ee_overhead;
+  }
+
+let search_options spec =
+  {
+    Ee_search.Search_select.default_options with
+    Ee_search.Search_select.base = mcr_options spec;
   }
 
 let benchmarks = Itc99.all
@@ -114,6 +128,13 @@ let run ?(spec = default_spec) ?trace ?memo (b : Itc99.benchmark) =
     match spec.selection with
     | Eq1 -> None
     | Mcr -> Some (fun pl -> Ee_core.Mcr_select.run ~options:(mcr_options spec) ?memo pl)
+    | Search ->
+        Some
+          (fun pl ->
+            let pl', r =
+              Ee_search.Search_select.run ~options:(search_options spec) ?memo pl
+            in
+            (pl', r.Ee_search.Search_select.synth))
   in
   let artifact = Pipeline.build_staged ~options ?memo ?plan ~instrument b in
   let row =

@@ -27,6 +27,11 @@ type selection =
       (** Greedy maximum-cycle-ratio descent ({!Ee_core.Mcr_select}): insert
           the EE pair that most improves the analytic steady-state period,
           repeat until no pair helps. *)
+  | Search
+      (** {!Ee_search.Search_select}: the MCR plan as a floor, then
+          CEGIS-searched shared multi-master triggers accepted only when the
+          re-analyzed period does not regress — final λ is never worse than
+          [Mcr]'s on the same netlist. *)
 
 type spec = {
   threshold : float;  (** Minimum Eq. 1 cost to insert an EE pair. *)
@@ -38,6 +43,11 @@ type spec = {
   gate_delay : float;  (** PL gate firing latency. *)
   ee_overhead : float;  (** Extra Muller-C latency on EE masters. *)
   selection : selection;  (** EE-pair selection policy (default {!Eq1}). *)
+  lut_k : int;
+      (** Wide-LUT arity for the search-side analyses (4..8, default 4).
+          The pipeline's netlist cell stays a LUT4 regardless; above 4 this
+          only widens the cones the trigger {e search} endpoints
+          ([ee_synth search], the daemon's search section) analyze. *)
 }
 
 val default_spec : spec
@@ -54,8 +64,12 @@ val with_gate_delay : float -> spec -> spec
 val with_ee_overhead : float -> spec -> spec
 val with_selection : selection -> spec -> spec
 
+val with_lut_k : int -> spec -> spec
+(** Raises [Invalid_argument] outside 4..8. *)
+
 val selection_to_string : selection -> string
-(** ["eq1"] / ["mcr"] — the wire names used by the serving protocol. *)
+(** ["eq1"] / ["mcr"] / ["search"] — the wire names used by the serving
+    protocol. *)
 
 val selection_of_string : string -> selection option
 
@@ -65,7 +79,7 @@ val spec_fingerprint : spec -> string
     [Ee_serve] hashes it together with the canonical BLIF text of the
     netlist to form content-addressed cache keys; the leading [spec-v1]
     token must be bumped whenever a change to the synthesis flow makes old
-    cached results stale for an identical spec. *)
+    cached results stale for an identical spec (currently [spec-v2]). *)
 
 val synth_options : spec -> Ee_core.Synth.options
 (** The [Ee_core.Synth.options] slice of a spec. *)
@@ -73,6 +87,10 @@ val synth_options : spec -> Ee_core.Synth.options
 val mcr_options : spec -> Ee_core.Mcr_select.options
 (** The [Ee_core.Mcr_select.options] slice of a spec (used when
     [spec.selection = Mcr]; [threshold] and [coverage_only] do not apply). *)
+
+val search_options : spec -> Ee_search.Search_select.options
+(** The [Ee_search.Search_select.options] slice (used when
+    [spec.selection = Search]). *)
 
 val sim_config : spec -> Ee_sim.Sim.config
 (** The [Ee_sim.Sim.config] slice of a spec. *)

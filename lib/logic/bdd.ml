@@ -1,8 +1,18 @@
 type t = Leaf of bool | Node of { id : int; var : int; lo : t; hi : t }
 
+(* Cache keys are packed into a single immediate int — (var, lo, hi) and
+   (c, a, b) triples both fit 21 bits per component — so the hot hash
+   tables never allocate or hash a tuple.  2^21 nodes is far beyond any
+   truth-table-sized BDD (arity <= 16); [mk] checks the bound. *)
+let key_bits = 21
+
+let key_limit = 1 lsl key_bits
+
+let pack a b c = ((a lsl key_bits) lor b) lsl key_bits lor c
+
 type manager = {
-  unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) -> node *)
-  ite_cache : (int * int * int, t) Hashtbl.t;
+  unique : (int, t) Hashtbl.t; (* pack(var, lo_id, hi_id) -> node *)
+  ite_cache : (int, t) Hashtbl.t;
   mutable next_id : int;
 }
 
@@ -16,8 +26,9 @@ let one _ = Leaf true
 
 let mk m var lo hi =
   if id lo = id hi then lo
-  else
-    let key = (var, id lo, id hi) in
+  else begin
+    if m.next_id >= key_limit then failwith "Bdd: node limit exceeded";
+    let key = pack var (id lo) (id hi) in
     match Hashtbl.find_opt m.unique key with
     | Some n -> n
     | None ->
@@ -25,6 +36,7 @@ let mk m var lo hi =
         m.next_id <- m.next_id + 1;
         Hashtbl.add m.unique key n;
         n
+  end
 
 let var m i =
   if i < 0 then invalid_arg "Bdd.var: negative index";
@@ -44,7 +56,7 @@ let rec ite m c a b =
   | _ ->
       if id a = id b then a
       else
-        let key = (id c, id a, id b) in
+        let key = pack (id c) (id a) (id b) in
         (match Hashtbl.find_opt m.ite_cache key with
         | Some r -> r
         | None ->
@@ -132,6 +144,55 @@ let sat_count _m node ~nvars =
             c)
   in
   go node 0
+
+let rec any_sat_node = function
+  | Leaf false -> None
+  | Leaf true -> Some 0
+  | Node n -> (
+      (* Prefer the hi branch so the witness mentions the top variable when
+         possible; unmentioned variables default to 0.  Reduction guarantees
+         at least one branch is satisfiable when the node is not [zero]. *)
+      match any_sat_node n.hi with
+      | Some m -> Some (m lor (1 lsl n.var))
+      | None -> any_sat_node n.lo)
+
+let any_sat _m node = any_sat_node node
+
+(* A witness of [a ∧ ¬b], found by walking the pair without constructing
+   the difference BDD — the CEGIS loop calls this once per refinement, and
+   building [¬b] there would redo a full apply every iteration. *)
+let any_sat_diff _m a b =
+  let seen = Hashtbl.create 64 in
+  let rec go a b =
+    match (a, b) with
+    | Leaf false, _ | _, Leaf true -> None
+    | _, Leaf false -> any_sat_node a
+    | _ ->
+        let key = pack 0 (id a) (id b) in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          let v = min (top_var a) (top_var b) in
+          let a0, a1 = cofactors a v in
+          let b0, b1 = cofactors b v in
+          match go a1 b1 with
+          | Some m -> Some (m lor (1 lsl v))
+          | None -> go a0 b0
+        end
+  in
+  go a b
+
+let exists_mask m node ~mask =
+  Ee_util.Bits.fold_bits mask
+    (fun acc v ->
+      logor m (restrict m acc ~var:v ~value:false) (restrict m acc ~var:v ~value:true))
+    node
+
+let forall_mask m node ~mask =
+  Ee_util.Bits.fold_bits mask
+    (fun acc v ->
+      logand m (restrict m acc ~var:v ~value:false) (restrict m acc ~var:v ~value:true))
+    node
 
 let node_count _m node =
   let seen = Hashtbl.create 64 in

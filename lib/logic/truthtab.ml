@@ -104,6 +104,27 @@ let logxor a b = map2 Int64.logxor a b
 
 let count_ones t = Array.fold_left (fun acc w -> acc + Ee_util.Bits.popcount64 w) 0 t.words
 
+(* First minterm of [a ∧ ¬b], word-wise.  The tail-mask invariant keeps the
+   unused high bits of [a] clear, so negating [b] cannot surface phantom
+   minterms. *)
+let first_diff a b =
+  if a.arity <> b.arity then invalid_arg "Truthtab: arity mismatch";
+  let n = Array.length a.words in
+  let rec word i =
+    if i = n then None
+    else
+      let w = Int64.logand a.words.(i) (Int64.lognot b.words.(i)) in
+      if Int64.equal w 0L then word (i + 1)
+      else begin
+        let bit = ref 0 in
+        while Int64.equal (Int64.logand (Int64.shift_right_logical w !bit) 1L) 0L do
+          incr bit
+        done;
+        Some ((i lsl 6) lor !bit)
+      end
+  in
+  word 0
+
 let minterms t =
   let out = ref [] in
   for m = size t - 1 downto 0 do

@@ -169,7 +169,11 @@ let of_netlist nl =
   build gates_arr (Array.make total None) source_ids sink_ids
 
 (* The trigger reads the subset of the master's inputs; its function is
-   re-indexed onto its own (compacted) input positions. *)
+   re-indexed onto its own (compacted) input positions.  Positions are
+   taken in (signal, position) order rather than position order, so two
+   masters reading the same signals through permuted fanin produce
+   byte-identical triggers — which is what lets [with_ee_shared] merge
+   them into one gate. *)
 let compact_trigger master_fanin req =
   let positions = Ee_util.Bits.indices req.req_support in
   List.iter
@@ -177,6 +181,11 @@ let compact_trigger master_fanin req =
       if p < 0 || p >= Array.length master_fanin then
         invalid_arg "Pl.with_ee: support position out of range")
     positions;
+  let positions =
+    List.sort
+      (fun a b -> compare (master_fanin.(a), a) (master_fanin.(b), b))
+      positions
+  in
   let tfanin = Array.of_list (List.map (fun p -> master_fanin.(p)) positions) in
   let compact =
     Lut4.of_truthtab

@@ -41,12 +41,13 @@ let eval_cone gates root assignment =
   in
   ev root
 
-let cut_function gates root cut =
+let cut_truthtab gates root cut =
   let k = List.length cut in
-  Lut4.of_truthtab
-    (Ee_logic.Truthtab.of_fun k (fun m ->
-         let assignment = List.mapi (fun j l -> (l, (m lsr j) land 1 = 1)) cut in
-         eval_cone gates root assignment))
+  Ee_logic.Truthtab.of_fun k (fun m ->
+      let assignment = List.mapi (fun j l -> (l, (m lsr j) land 1 = 1)) cut in
+      eval_cone gates root assignment)
+
+let cut_function gates root cut = Lut4.of_truthtab (cut_truthtab gates root cut)
 
 (* Expected arrival of a cut under early evaluation, in level units with a
    uniform-input trigger-rate model (see Ee_core.Analysis). *)
@@ -75,8 +76,11 @@ let ee_expected_arrival ?memo gates root cut leaf_arrival =
   in
   best
 
-let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
-    (c : Gates.circuit) =
+(* Priority-cuts labeling: per node the chosen cut (best achievable
+   arrival) and its label, with the leaf cap as a parameter so the same
+   machinery serves the LUT4 mapper ([cap = 4]) and the wide-cover
+   analysis ([cap = lut_k] up to 8). *)
+let label_cuts ~cap ~mode ~cuts_per_node ?memo (c : Gates.circuit) =
   let gates = c.Gates.gates in
   let n = Array.length gates in
   (* Fanout reference counts, for the area-flow estimate of [Delay] mode.
@@ -97,14 +101,14 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
   let aflow = Array.make n 0. in
   let best_cut = Array.make n [] in
   let merge_cuts lists =
-    (* Cartesian merge of one cut per fanin, capped at 4 leaves. *)
+    (* Cartesian merge of one cut per fanin, capped at [cap] leaves. *)
     let rec go acc = function
       | [] -> [ acc ]
       | options :: rest ->
           List.concat_map
             (fun cut ->
               let merged = List.sort_uniq compare (acc @ cut) in
-              if List.length merged <= 4 then go merged rest else [])
+              if List.length merged <= cap then go merged rest else [])
             options
     in
     go [] lists
@@ -176,6 +180,13 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
             [ i ] :: take cuts_per_node (List.map (fun (_, _, cut) -> cut) scored)
     end
   done;
+  best_cut
+
+let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
+    (c : Gates.circuit) =
+  let gates = c.Gates.gates in
+  let n = Array.length gates in
+  let best_cut = label_cuts ~cap:4 ~mode ~cuts_per_node ?memo c in
   (* Emit the netlist from the interface roots.  [flat_ports] keeps the
      verbatim name for width-1 ports instead of [name[0]], so netlists that
      came in through the frontend keep their port interface (Equiv matches
@@ -242,3 +253,29 @@ let run ?(mode = Depth) ?(cuts_per_node = 8) ?memo ?(flat_ports = false)
 
 let run_rtl ?mode ?cuts_per_node ?memo ?flat_ports d =
   run ?mode ?cuts_per_node ?memo ?flat_ports (Elaborate.run d)
+
+type wide_lut = {
+  wroot : int;
+  wleaves : int list;
+  wfunc : Ee_logic.Truthtab.t;
+}
+
+let wide_covers ?(lut_k = 6) ?(cuts_per_node = 8) (c : Gates.circuit) =
+  if lut_k < 4 || lut_k > 8 then
+    invalid_arg "Cutmap.wide_covers: lut_k must be in 4..8";
+  let gates = c.Gates.gates in
+  let best_cut = label_cuts ~cap:lut_k ~mode:Depth ~cuts_per_node c in
+  let covers = ref [] in
+  let visited = Array.make (Array.length gates) false in
+  let rec walk i =
+    if not (visited.(i) || is_leaf gates.(i)) then begin
+      visited.(i) <- true;
+      let cut = best_cut.(i) in
+      covers := { wroot = i; wleaves = cut; wfunc = cut_truthtab gates i cut } :: !covers;
+      List.iter walk cut
+    end
+  in
+  List.iter
+    (fun (_, bits) -> Array.iter walk bits)
+    (c.Gates.reg_next @ c.Gates.out_bits);
+  List.sort (fun a b -> compare a.wroot b.wroot) !covers

@@ -52,3 +52,20 @@ val run_rtl :
   ?flat_ports:bool ->
   Rtl.design ->
   Ee_netlist.Netlist.t
+
+type wide_lut = {
+  wroot : int;  (** Gate index in the input circuit. *)
+  wleaves : int list;  (** Cut leaves, ascending gate indices. *)
+  wfunc : Ee_logic.Truthtab.t;
+      (** Cone function over the leaves; variable [j] is leaf [j]. *)
+}
+
+val wide_covers :
+  ?lut_k:int -> ?cuts_per_node:int -> Gates.circuit -> wide_lut list
+(** A depth-oriented LUT-[k] cover of the circuit ([lut_k] in 4..8,
+    default 6), as {e analysis} input for the wide trigger search
+    ({!Ee_search.Driver}): the emitted netlist cell stays a LUT4
+    everywhere else in the flow, these records only say which LUT5/LUT6
+    cone functions a wide cell library would realize.  One record per
+    covered node reachable from the interface roots, root ascending.
+    Raises [Invalid_argument] on an out-of-range [lut_k]. *)

@@ -1,0 +1,33 @@
+module Bits = Ee_util.Bits
+module Cube = Ee_logic.Cube
+
+type t = { support : int; max_cubes : int }
+
+let make ~support ~max_cubes =
+  if support = 0 then invalid_arg "Sketch.make: empty support";
+  if max_cubes < 1 then invalid_arg "Sketch.make: max_cubes must be >= 1";
+  { support; max_cubes }
+
+let support s = s.support
+
+let max_cubes s = s.max_cubes
+
+let cost s = (Bits.popcount s.support, s.max_cubes, s.support)
+
+let compare_cost a b = compare (cost a) (cost b)
+
+let admits s cubes =
+  List.length cubes <= s.max_cubes
+  && List.for_all (fun c -> Cube.supported_on c ~subset:s.support) cubes
+
+let enumerate ?(max_cubes = 4) ~universe () =
+  if max_cubes < 1 then invalid_arg "Sketch.enumerate: max_cubes must be >= 1";
+  let subs = Bits.all_nonempty_proper_subsets universe in
+  let rec budgets k = if k > max_cubes then [] else k :: budgets (k + 1) in
+  List.concat_map
+    (fun support -> List.map (fun mc -> { support; max_cubes = mc }) (budgets 1))
+    subs
+  |> List.sort compare_cost
+
+let to_string s =
+  Printf.sprintf "sop(support=0x%x, cubes<=%d)" s.support s.max_cubes

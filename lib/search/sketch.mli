@@ -1,0 +1,44 @@
+(** The trigger sketch language.
+
+    A sketch is the {e shape} of a candidate trigger function, with the
+    cube contents left as holes for the CEGIS loop ({!Cegis}) to fill:
+
+    {v trigger ::= cube_1 OR ... OR cube_n        (n <= max_cubes)
+   cube    ::= conjunction of literals over the support mask v}
+
+    Every trigger the paper's Table 2 derives has this shape — the maximal
+    trigger for a support [S] is the union of the S-supported primes of
+    the master's ON and OFF sets — so bounding the cube count is the only
+    approximation a sketch introduces.  The generator {!enumerate} walks
+    sketches in deterministic cost order (support size, then cube budget,
+    then support mask), which is the order the pruned search driver
+    explores them in. *)
+
+type t
+
+val make : support:int -> max_cubes:int -> t
+(** Raises [Invalid_argument] on an empty support or a cube budget < 1. *)
+
+val support : t -> int
+(** Variable bitmask the cubes may mention. *)
+
+val max_cubes : t -> int
+
+val cost : t -> int * int * int
+(** [(support size, cube budget, support mask)] — the lexicographic
+    generation order.  Fewer inputs beats fewer cubes: a trigger that
+    watches fewer signals fires earlier, which is the quantity early
+    evaluation optimizes. *)
+
+val compare_cost : t -> t -> int
+
+val admits : t -> Ee_logic.Cube.t list -> bool
+(** Does a cube list instantiate this sketch — no more than [max_cubes]
+    cubes, each supported on the sketch's support? *)
+
+val enumerate : ?max_cubes:int -> universe:int -> unit -> t list
+(** Every sketch over a non-empty {e strict} submask of [universe] with a
+    cube budget in [1 .. max_cubes] (default 4), sorted by {!cost}.
+    Deterministic; [Invalid_argument] if [max_cubes < 1]. *)
+
+val to_string : t -> string

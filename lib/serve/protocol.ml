@@ -2,7 +2,11 @@ module Json = Ee_export.Json
 module Engine = Ee_engine.Engine
 
 type request =
-  | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Engine.spec }
+  | Synth of {
+      source : [ `Bench of string | `Blif of string ];
+      spec : Engine.spec;
+      search : bool;
+    }
   | Import of {
       text : string;
       format : Ee_frontend.Frontend.format option;
@@ -89,11 +93,20 @@ let spec_of_json j =
     | Some s -> (
         match Engine.selection_of_string s with
         | Some sel -> Ok (Some sel)
-        | None -> Error (Printf.sprintf "unknown selection %S (use \"eq1\" or \"mcr\")" s))
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown selection %S (use \"eq1\", \"mcr\" or \"search\")" s))
   in
   let* () =
     match vectors with
     | Some v when v <= 0 -> Error "\"vectors\" must be positive"
+    | _ -> Ok ()
+  in
+  let* lut_k = field_int j "lut_k" in
+  let* () =
+    match lut_k with
+    | Some k when k < 4 || k > 8 -> Error "\"lut_k\" must be in 4..8"
     | _ -> Ok ()
   in
   Ok
@@ -106,7 +119,8 @@ let spec_of_json j =
     |> set Engine.with_seed seed
     |> set Engine.with_gate_delay gate_delay
     |> set Engine.with_ee_overhead ee_overhead
-    |> set Engine.with_selection selection)
+    |> set Engine.with_selection selection
+    |> set Engine.with_lut_k lut_k)
 
 let bench_of_json j =
   let* bench = field_string j "bench" in
@@ -133,7 +147,8 @@ let request_of_json j =
         | Some _, Some _ -> Error "give either \"bench\" or \"blif\", not both"
         | None, None -> Error "synth needs a \"bench\" id or inline \"blif\" text"
       in
-      Ok (Synth { source; spec })
+      let* search = field_bool j "search" in
+      Ok (Synth { source; spec; search = Option.value search ~default:false })
   | "import" ->
       let* spec = spec_of_json j in
       let* text = field_string j "text" in
@@ -214,6 +229,7 @@ let spec_fields (spec : Engine.spec) =
       (if spec.selection <> d.selection then
          keep "selection" (Json.String (Engine.selection_to_string spec.selection))
        else None);
+      (if spec.lut_k <> d.lut_k then keep "lut_k" (Json.Int spec.lut_k) else None);
     ]
 
 let envelope_to_json env =
@@ -224,10 +240,11 @@ let envelope_to_json env =
   in
   let body =
     match env.req with
-    | Synth { source; spec } ->
+    | Synth { source; spec; search } ->
         (match source with
         | `Bench b -> [ ("bench", Json.String b) ]
         | `Blif text -> [ ("blif", Json.String text) ])
+        @ (if search then [ ("search", Json.Bool true) ] else [])
         @ spec_fields spec
     | Import { text; format; remap; spec } ->
         (* Binary payloads (the delta-coded AIGER AND section) cannot ride

@@ -70,7 +70,14 @@
     in request order. *)
 
 type request =
-  | Synth of { source : [ `Bench of string | `Blif of string ]; spec : Ee_engine.Engine.spec }
+  | Synth of {
+      source : [ `Bench of string | `Blif of string ];
+      spec : Ee_engine.Engine.spec;
+      search : bool;
+          (** Append the trigger-search section (shared-trigger λ table and
+              wide-LUT cone summary at [spec.lut_k]) to the synth row.
+              Part of the cache key. *)
+    }
   | Import of {
       text : string;  (** Decoded file contents (may be binary AIGER). *)
       format : Ee_frontend.Frontend.format option;  (** [None] = auto-detect. *)

@@ -111,18 +111,90 @@ let row_json (row : Tables.row) (rep : Ee_core.Synth.report) (spec : Engine.spec
       ("seed", Json.Int spec.Engine.seed);
     ]
 
-let synth_bench_json ?trace ~spec b =
+(* The search section: the shared-trigger λ table plus a wide-LUT cone
+   summary, appended to a synth row when the request sets "search".  The
+   netlist cell stays a LUT4 — [wide_covers] only reports which LUT-k cone
+   functions the CEGIS driver would analyze at [spec.lut_k]. *)
+let search_json ~spec nl =
+  let pl = Ee_phased.Pl.of_netlist nl in
+  let pl', r = Ee_search.Search_select.run ~options:(Engine.search_options spec) pl in
+  ignore pl';
+  let groups =
+    List.map
+      (fun (g : Ee_search.Search_select.shared_group) ->
+        Json.Obj
+          [
+            ("signals", Json.List (List.map (fun i -> Json.Int i) g.Ee_search.Search_select.sg_signals));
+            ("masters", Json.List (List.map (fun i -> Json.Int i) g.Ee_search.Search_select.sg_masters));
+            ("coverage_percent", Json.Float g.Ee_search.Search_select.sg_coverage);
+          ])
+      r.Ee_search.Search_select.shared_groups
+  in
+  let covers =
+    Ee_rtl.Cutmap.wide_covers ~lut_k:spec.Engine.lut_k (Ee_frontend.Remap.to_gates nl)
+  in
+  let wide =
+    List.filter (fun w -> List.length w.Ee_rtl.Cutmap.wleaves > 4) covers
+  in
+  (* Bound the per-request analysis cost on big netlists; the bench has the
+     uncapped sweep. *)
+  let analyzed = List.filteri (fun i _ -> i < 64) wide in
+  let best_coverages =
+    List.map
+      (fun w ->
+        match
+          Ee_search.Driver.candidates ~top_k:1 w.Ee_rtl.Cutmap.wfunc
+        with
+        | c :: _ -> c.Ee_search.Driver.coverage
+        | [] -> 0.)
+      analyzed
+  in
+  let mean xs =
+    match xs with
+    | [] -> 0.
+    | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  Json.Obj
+    [
+      ("lambda_no_ee", Json.Float r.Ee_search.Search_select.lambda_no_ee);
+      ("lambda_mcr", Json.Float r.Ee_search.Search_select.lambda_mcr);
+      ("lambda_search", Json.Float r.Ee_search.Search_select.lambda);
+      ("trials", Json.Int r.Ee_search.Search_select.trials);
+      ("fell_back", Json.Bool r.Ee_search.Search_select.fell_back);
+      ("shared_groups", Json.List groups);
+      ( "wide",
+        Json.Obj
+          [
+            ("lut_k", Json.Int spec.Engine.lut_k);
+            ("covers", Json.Int (List.length covers));
+            ("wider_than_4", Json.Int (List.length wide));
+            ("analyzed", Json.Int (List.length analyzed));
+            ("mean_best_coverage_percent", Json.Float (mean best_coverages));
+          ] );
+    ]
+
+let synth_bench_json ?trace ~spec ~search b =
   let r = Engine.run ~spec ?trace b in
-  row_json r.Engine.row r.Engine.artifact.Pipeline.synth_report spec
+  let row = row_json r.Engine.row r.Engine.artifact.Pipeline.synth_report spec in
+  if not search then row
+  else
+    match row with
+    | Json.Obj fields ->
+        Json.Obj
+          (fields @ [ ("search", search_json ~spec r.Engine.artifact.Pipeline.netlist) ])
+    | j -> j
 
 (* The inline-BLIF path: same measurements as a benchmark run, starting
    from the submitted netlist instead of an RTL build. *)
-let synth_netlist_json ~spec nl =
+let synth_netlist_json ?(search = false) ~spec nl =
   let pl = Ee_phased.Pl.of_netlist nl in
   let pl_ee, report =
     match spec.Engine.selection with
     | Engine.Eq1 -> Ee_core.Synth.run ~options:(Engine.synth_options spec) pl
     | Engine.Mcr -> Ee_core.Mcr_select.run ~options:(Engine.mcr_options spec) pl
+    | Engine.Search ->
+        let pl', r = Ee_search.Search_select.run ~options:(Engine.search_options spec) pl in
+        (pl', r.Ee_search.Search_select.synth)
   in
   let config = Engine.sim_config spec in
   let vectors = spec.Engine.vectors and seed = spec.Engine.seed in
@@ -149,7 +221,12 @@ let synth_netlist_json ~spec nl =
       critical_cycle;
     }
   in
-  row_json row report spec
+  let base = row_json row report spec in
+  if not search then base
+  else
+    match base with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("search", search_json ~spec nl) ])
+    | j -> j
 
 let perf_json ~spec ~waves b =
   let options = Engine.synth_options spec in
@@ -220,8 +297,11 @@ let bench_key ~cmd ~blif ~spec extras =
 let probe_key (req : Protocol.request) =
   let memoized bid = Ee_util.Memo.Shared.find_opt bench_blif_memo bid in
   match req with
-  | Protocol.Synth { source = `Bench bid; spec } ->
-      Option.map (fun blif -> bench_key ~cmd:"synth" ~blif ~spec []) (memoized bid)
+  | Protocol.Synth { source = `Bench bid; spec; search } ->
+      Option.map
+        (fun blif ->
+          bench_key ~cmd:"synth" ~blif ~spec (if search then [ "search" ] else []))
+        (memoized bid)
   | Protocol.Perf { bench; spec; waves } ->
       Option.map
         (fun blif -> bench_key ~cmd:"perf" ~blif ~spec [ string_of_int waves ])
@@ -247,20 +327,23 @@ let compute ~trace ~cache (req : Protocol.request) =
       with_trace trace ~bench:"" "sleep" (fun () ->
           Unix.sleepf s;
           (Json.Obj [ ("slept_s", Json.Float s) ], false))
-  | Protocol.Synth { source; spec } -> (
+  | Protocol.Synth { source; spec; search } -> (
+      let extras = if search then [ "search" ] else [] in
       match source with
       | `Bench bid ->
           let b = find_bench bid in
           with_trace trace ~bench:bid "synth" (fun () ->
-              let key = bench_key ~cmd:"synth" ~blif:(canonical_bench_blif b) ~spec [] in
-              with_cache cache key (fun () -> synth_bench_json ?trace ~spec b))
+              let key =
+                bench_key ~cmd:"synth" ~blif:(canonical_bench_blif b) ~spec extras
+              in
+              with_cache cache key (fun () -> synth_bench_json ?trace ~spec ~search b))
       | `Blif text -> (
           match Blif.parse text with
           | Error e -> raise (Reject ("bad_request", e))
           | Ok nl ->
               with_trace trace ~bench:"netlist" "synth" (fun () ->
-                  let key = bench_key ~cmd:"synth" ~blif:(Blif.to_blif nl) ~spec [] in
-                  with_cache cache key (fun () -> synth_netlist_json ~spec nl))))
+                  let key = bench_key ~cmd:"synth" ~blif:(Blif.to_blif nl) ~spec extras in
+                  with_cache cache key (fun () -> synth_netlist_json ~search ~spec nl))))
   | Protocol.Import { text; format; remap; spec } -> (
       match Ee_frontend.Frontend.parse ?format text with
       | Error e -> raise (Reject ("bad_request", e))

@@ -68,6 +68,18 @@ let test_all_nonempty_proper_subsets () =
   Alcotest.(check (list int)) "sparse mask" [ 1; 4 ] (Bits.all_nonempty_proper_subsets 0b101);
   Alcotest.(check (list int)) "empty mask" [] (Bits.all_nonempty_proper_subsets 0)
 
+let test_subset_edge_cases () =
+  (* Degenerate shapes the sketch generator leans on: an empty universe,
+     cube budgets past the universe size, and the full mask. *)
+  Alcotest.(check (list int)) "n=0 k=0" [ 0 ] (Bits.subsets_of_size 0 0);
+  Alcotest.(check (list int)) "n=0 k=1" [] (Bits.subsets_of_size 0 1);
+  Alcotest.(check (list int)) "k>n" [] (Bits.subsets_of_size 2 3);
+  Alcotest.(check (list int)) "k=n full mask" [ 0b1111 ] (Bits.subsets_of_size 4 4);
+  Alcotest.(check int) "LUT6 proper subsets" 62
+    (List.length (Bits.all_nonempty_proper_subsets (Bits.mask 6)));
+  Alcotest.(check (list int)) "singleton mask" []
+    (Bits.all_nonempty_proper_subsets 0b1000)
+
 let test_log2_ceil () =
   List.iter
     (fun (n, expect) -> Alcotest.(check int) (string_of_int n) expect (Bits.log2_ceil n))
@@ -83,5 +95,6 @@ let suite =
       Alcotest.test_case "iter/fold/indices" `Quick test_iter_fold_indices;
       Alcotest.test_case "subsets_of_size" `Quick test_subsets_of_size;
       Alcotest.test_case "all_nonempty_proper_subsets" `Quick test_all_nonempty_proper_subsets;
+      Alcotest.test_case "subset edge cases" `Quick test_subset_edge_cases;
       Alcotest.test_case "log2_ceil" `Quick test_log2_ceil;
     ] )

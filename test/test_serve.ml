@@ -66,13 +66,13 @@ let test_json_raw_compact () =
 let test_protocol_roundtrip () =
   let spec =
     Engine.default_spec |> Engine.with_vectors 17 |> Engine.with_threshold 50.
-    |> Engine.with_selection Engine.Mcr
+    |> Engine.with_selection Engine.Search |> Engine.with_lut_k 6
   in
   let env =
     {
       Protocol.id = Json.Int 9;
       deadline_s = Some 2.5;
-      req = Protocol.Synth { source = `Bench "b04"; spec };
+      req = Protocol.Synth { source = `Bench "b04"; spec; search = true };
     }
   in
   let line = Json.to_string (Protocol.envelope_to_json env) in
@@ -83,9 +83,10 @@ let test_protocol_roundtrip () =
       Alcotest.(check (option (float 1e-9))) "deadline survives" (Some 2.5)
         env'.Protocol.deadline_s;
       (match env'.Protocol.req with
-      | Protocol.Synth { source = `Bench "b04"; spec = s } ->
+      | Protocol.Synth { source = `Bench "b04"; spec = s; search } ->
           Alcotest.(check string) "spec survives" (Engine.spec_fingerprint spec)
-            (Engine.spec_fingerprint s)
+            (Engine.spec_fingerprint s);
+          Alcotest.(check bool) "search flag survives" true search
       | _ -> Alcotest.fail "request shape changed")
 
 let test_protocol_rejects () =
@@ -103,6 +104,9 @@ let test_protocol_rejects () =
       "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":0}";
       "{\"cmd\":\"synth\",\"bench\":\"b01\",\"deadline_s\":0}";
       "{\"cmd\":\"synth\",\"bench\":\"b01\",\"selection\":\"best\"}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"lut_k\":3}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"lut_k\":9}";
+      "{\"cmd\":\"synth\",\"bench\":\"b01\",\"search\":\"yes\"}";
       "{\"cmd\":\"perf\"}";
     ]
 
@@ -192,6 +196,44 @@ let test_e2e_synth_and_cache () =
         | None -> false);
       Alcotest.(check bool) "synth latencies recorded" true
         (get s [ "result"; "commands"; "synth"; "latency_ms"; "p50" ] <> None))
+
+let test_e2e_search_section () =
+  with_server (fun sock ->
+      (* A search-enabled synth carries the extra section and caches under
+         its own key, distinct from the same spec without "search". *)
+      let line =
+        "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5,\"selection\":\"search\",\"search\":true,\"lut_k\":5}"
+      in
+      let r1 = send sock line in
+      check_status r1 "ok";
+      Alcotest.(check (option bool)) "first is cold" (Some false)
+        (Option.bind (Json.member "cached" r1) Json.to_bool);
+      Alcotest.(check (option string)) "selection echoed" (Some "search")
+        (Option.bind (get r1 [ "result"; "selection" ]) Json.to_string_opt);
+      let lam_mcr = Option.bind (get r1 [ "result"; "search"; "lambda_mcr" ]) Json.to_float in
+      let lam_search =
+        Option.bind (get r1 [ "result"; "search"; "lambda_search" ]) Json.to_float
+      in
+      (match (lam_mcr, lam_search) with
+      | Some m, Some s ->
+          Alcotest.(check bool) "search lambda never worse than mcr" true (s <= m)
+      | _ -> Alcotest.fail "missing search lambda table");
+      Alcotest.(check (option int)) "wide summary at lut_k" (Some 5)
+        (Option.bind (get r1 [ "result"; "search"; "wide"; "lut_k" ]) Json.to_int);
+      let r2 = send sock line in
+      Alcotest.(check (option bool)) "repeat is cached" (Some true)
+        (Option.bind (Json.member "cached" r2) Json.to_bool);
+      Alcotest.(check bool) "identical payload" true
+        (Json.member "result" r1 = Json.member "result" r2);
+      (* Same spec without the search flag: distinct cache key, no section. *)
+      let r3 =
+        send sock
+          "{\"cmd\":\"synth\",\"bench\":\"b01\",\"vectors\":5,\"selection\":\"search\",\"lut_k\":5}"
+      in
+      Alcotest.(check (option bool)) "flagless request misses" (Some false)
+        (Option.bind (Json.member "cached" r3) Json.to_bool);
+      Alcotest.(check bool) "no section without the flag" true
+        (get r3 [ "result"; "search" ] = None))
 
 let test_e2e_inline_blif () =
   with_server (fun sock ->
@@ -865,6 +907,7 @@ let suite =
       Alcotest.test_case "protocol rejects bad requests" `Quick test_protocol_rejects;
       Alcotest.test_case "e2e: synth + content-addressed cache" `Quick test_e2e_synth_and_cache;
       Alcotest.test_case "e2e: inline BLIF source" `Quick test_e2e_inline_blif;
+      Alcotest.test_case "e2e: search section + cache key" `Quick test_e2e_search_section;
       Alcotest.test_case "e2e: not_found / bad_request" `Quick test_e2e_not_found_and_bad_line;
       Alcotest.test_case "e2e: overload rejects, never queues unboundedly" `Quick
         test_e2e_overload;
